@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+The expert database and Table IV baselines are expensive; build them once
+per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.database import build_default_database
+from repro.eval.harness import _trained_database, run_table4_baseline
+
+
+@pytest.fixture(scope="session")
+def expert_database():
+    """Small expert database (one variant per family, three strategies)."""
+    return build_default_database(
+        variants_per_family=1,
+        strategies=[
+            "baseline_compile",
+            "high_effort",
+            "ultra_flatten",
+            "ultra_retime",
+            "fanout_buffered",
+            "area_recovery",
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_database():
+    """Database with a metric-learning-trained encoder (Fig. 5 setup)."""
+    return _trained_database(variants_per_family=2)
+
+
+@pytest.fixture(scope="session")
+def table4():
+    """Table IV baseline QoR for all seven designs."""
+    return run_table4_baseline()

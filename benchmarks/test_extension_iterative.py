@@ -1,0 +1,64 @@
+"""Extension experiment: multi-iteration customization.
+
+Paper §V-B: "Both ethmac and tinyRocket exhibit timing violations, as only
+a single iteration was executed. However, logic synthesis is inherently an
+iterative process... Additional iterations are required to further resolve
+timing issues."  This bench runs the iterations the paper did not and
+shows the residual violations close.
+"""
+
+import pytest
+
+from repro.core import ChatLS
+from repro.designs.opencores import get_benchmark
+from repro.eval.harness import TIMING_REQUIREMENT, baseline_script
+
+
+@pytest.fixture(scope="module")
+def histories(expert_database):
+    chatls = ChatLS(expert_database)
+    out = {}
+    for name in ("ethmac", "tinyRocket"):
+        bench = get_benchmark(name)
+        out[name] = chatls.customize_iteratively(
+            bench.verilog, bench.name, baseline_script(bench),
+            TIMING_REQUIREMENT, rounds=3, k=2,
+            top=bench.top, clock_period=bench.clock_period,
+        )
+    return out
+
+
+class TestIterativeClosure:
+    def test_round_one_still_violated(self, histories):
+        for name, history in histories.items():
+            assert history[0].qor.wns < 0, name
+
+    def test_later_rounds_improve(self, histories):
+        for name, history in histories.items():
+            assert len(history) >= 2, name
+            assert history[-1].qor.wns > history[0].qor.wns, name
+
+    def test_timing_eventually_closes(self, histories):
+        for name, history in histories.items():
+            assert history[-1].qor.wns == 0.0, (
+                name,
+                [h.qor.wns if h.qor else None for h in history],
+            )
+
+    def test_stops_early_once_met(self, histories):
+        for name, history in histories.items():
+            met = [h.qor.wns >= 0 for h in history if h.qor]
+            if any(met):
+                assert met[-1]  # last round is the one that closed
+
+    def test_monotone_non_regressing(self, histories):
+        for name, history in histories.items():
+            wns = [h.qor.wns for h in history if h.qor]
+            # The carried-forward script never regresses between rounds.
+            for earlier, later in zip(wns, wns[1:]):
+                assert later >= earlier - 1e-9, name
+
+    def test_print_progression(self, histories):
+        for name, history in histories.items():
+            wns = [round(h.qor.wns, 3) if h.qor else None for h in history]
+            print(f"\n{name}: WNS per iteration: {wns}")

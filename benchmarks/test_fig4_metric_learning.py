@@ -1,0 +1,53 @@
+"""Fig. 4: metric-learning embedding evolution.
+
+Before training, embeddings of circuit-design families are scattered;
+after training, same-family embeddings converge and cross-family ones
+diverge into distinct clusters (paper Fig. 4 a/b).
+"""
+
+import pytest
+
+from repro.eval.harness import run_fig4_metric_learning
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4_metric_learning(variants_per_family=3, epochs=40)
+
+
+class TestFig4Shape:
+    def test_training_separates_clusters(self, fig4):
+        assert fig4.after["ratio"] < fig4.before["ratio"]
+
+    def test_final_clusters_distinct(self, fig4):
+        # Intra-cluster distances well below inter-cluster after training.
+        assert fig4.after["separated"]
+        assert fig4.after["ratio"] < 0.5
+
+    def test_loss_decreases(self, fig4):
+        early = sum(fig4.losses[:5]) / 5
+        late = sum(fig4.losses[-5:]) / 5
+        assert late <= early
+
+    def test_render(self, fig4):
+        text = fig4.render()
+        assert "before" in text and "after" in text
+        print("\n" + text)
+
+
+class TestMultiSimilarityVariant:
+    def test_ms_loss_also_separates(self):
+        result = run_fig4_metric_learning(
+            variants_per_family=2, epochs=25, loss="multi_similarity"
+        )
+        assert result.after["ratio"] <= result.before["ratio"] + 0.05
+
+
+def test_benchmark_training_epoch(benchmark):
+    """pytest-benchmark target: fig-4 style training, small setup."""
+    result = benchmark.pedantic(
+        lambda: run_fig4_metric_learning(variants_per_family=2, epochs=5),
+        iterations=1,
+        rounds=1,
+    )
+    assert result.losses

@@ -1,0 +1,56 @@
+"""Fig. 5: SynthRAG retrieval performance (F1).
+
+Held-out Chipyard-like variants query the expert database; relevance is
+same-family membership.  Asserts the paper's finding that SynthRAG
+"successfully retrieved relevant designs and modules".
+"""
+
+import pytest
+
+from repro.eval.harness import run_fig5_synthrag
+
+
+@pytest.fixture(scope="module")
+def fig5(trained_database):
+    return run_fig5_synthrag(database=trained_database)
+
+
+class TestFig5Shape:
+    def test_design_retrieval_perfect_at_k1(self, fig5):
+        assert fig5.f1("design_reranked", 1) >= 0.9
+
+    def test_design_retrieval_high_at_k2(self, fig5):
+        assert fig5.f1("design_reranked", 2) >= 0.8
+
+    def test_module_retrieval_high(self, fig5):
+        assert fig5.f1("module_reranked", 1) >= 0.8
+
+    def test_manual_retrieval_high(self, fig5):
+        assert fig5.f1("manual", 1) >= 0.9
+
+    def test_reranking_preserves_relevance(self, fig5):
+        """Eq. 5 reranking must not sacrifice F1 vs pure similarity."""
+        for k in (1, 2):
+            assert (
+                fig5.f1("design_reranked", k)
+                >= fig5.f1("design_similarity_only", k) - 0.05
+            )
+
+    def test_render(self, fig5):
+        text = fig5.render()
+        assert "design_reranked" in text
+        print("\n" + text)
+
+
+def test_benchmark_retrieval_latency(benchmark, trained_database):
+    """pytest-benchmark target: one design-embedding retrieval."""
+    import numpy as np
+
+    from repro.rag import EmbeddingRetriever
+
+    retriever = EmbeddingRetriever(trained_database)
+    rng = np.random.default_rng(0)
+    query = rng.normal(size=trained_database.encoder.embedding_dim)
+
+    hits = benchmark(lambda: retriever.retrieve_designs(query, k=3))
+    assert len(hits) == 3

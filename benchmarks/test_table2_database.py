@@ -1,0 +1,77 @@
+"""Table II: the expert design database over the component families.
+
+Builds the database and asserts the paper's category structure plus the
+fact that different families genuinely prefer different strategies.
+"""
+
+import pytest
+
+from repro.designs.chipyard import FAMILIES
+from repro.designs.database import STRATEGIES
+from repro.eval.tables import render_table
+
+
+class TestTable2Shape:
+    def test_all_families_present(self, expert_database):
+        assert set(expert_database.families()) == set(FAMILIES)
+
+    def test_categories_match_paper(self, expert_database):
+        rows = expert_database.table2()
+        categories = {r["category"] for r in rows}
+        assert categories == {
+            "Processor Core",
+            "Machine Learning Accelerator",
+            "Vector Arithmetic",
+            "Signal Processing",
+            "Cryptographic Arithmetic",
+        }
+
+    def test_processor_category_has_two_components(self, expert_database):
+        rows = {r["category"]: r["components"] for r in expert_database.table2()}
+        assert rows["Processor Core"] == ["rocket", "sodor"]
+        assert rows["Machine Learning Accelerator"] == ["gemmini", "nvdla"]
+
+    def test_every_entry_has_qor_and_expert_script(self, expert_database):
+        for entry in expert_database.entries.values():
+            assert entry.qor, entry.design.name
+            assert "read_verilog" in entry.expert_script
+            assert entry.best_strategy in STRATEGIES
+
+    def test_strategy_choice_varies_across_designs(self, expert_database):
+        winners = {e.best_strategy for e in expert_database.entries.values()}
+        assert len(winners) >= 2  # not one-size-fits-all
+
+    def test_embeddings_normalized(self, expert_database):
+        import numpy as np
+
+        for entry in expert_database.entries.values():
+            assert np.linalg.norm(entry.embedding) == pytest.approx(1.0, abs=1e-6)
+
+    def test_render_table2(self, expert_database):
+        rows = [
+            [r["category"], ", ".join(r["components"])]
+            for r in expert_database.table2()
+        ]
+        text = render_table(
+            ["Category", "Components"],
+            rows,
+            title="TABLE II: Overview of Hardware Designs in the Database",
+        )
+        print("\n" + text)
+        assert "Processor Core" in text
+
+
+def test_benchmark_database_entry(benchmark):
+    """pytest-benchmark target: adding one design to a fresh database."""
+    from repro.designs.chipyard import generate_family_variant
+    from repro.designs.database import ExpertDatabase
+    from repro.mentor import CircuitEncoder
+
+    design = generate_family_variant("simd", 9)
+
+    def add():
+        db = ExpertDatabase(CircuitEncoder())
+        return db.add_design(design, strategies=["baseline_compile"])
+
+    entry = benchmark.pedantic(add, iterations=1, rounds=1)
+    assert entry.qor

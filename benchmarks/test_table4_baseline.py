@@ -1,0 +1,62 @@
+"""Table IV: baseline QoR of the seven evaluation designs.
+
+Regenerates the paper's baseline table (adapted OpenROAD scripts through
+the synthesis engine) and asserts its qualitative shape: which designs
+violate timing, which meet it, and the relative severity ordering.
+"""
+
+import pytest
+
+from repro.designs.opencores import benchmark_names, get_benchmark
+from repro.eval.harness import baseline_script, run_table4_baseline
+from repro.synth import DCShell
+
+
+class TestTable4Shape:
+    def test_renders_all_designs(self, table4):
+        text = table4.render()
+        for name in benchmark_names():
+            assert name in text
+        print("\n" + text)
+
+    def test_violated_set_matches_paper(self, table4):
+        # Paper Table IV: aes, dynamic_node, ethmac, jpeg, tinyRocket < 0.
+        for name in ("aes", "dynamic_node", "ethmac", "jpeg", "tinyRocket"):
+            assert table4.rows[name].wns < 0, name
+
+    def test_met_set_matches_paper(self, table4):
+        # Paper Table IV: riscv32i and swerv meet timing with margin.
+        for name in ("riscv32i", "swerv"):
+            assert table4.rows[name].wns == 0.0
+            assert table4.rows[name].cps > 0.3
+
+    def test_ethmac_and_tinyrocket_worst_tns(self, table4):
+        # These two remain violated even after customization in the paper;
+        # their baselines carry the deepest structural problems.
+        tns = {n: q.tns for n, q in table4.rows.items()}
+        assert tns["ethmac"] == min(tns.values())
+
+    def test_wns_equals_cps_when_violated(self, table4):
+        for name, qor in table4.rows.items():
+            if qor.wns < 0:
+                assert qor.wns == pytest.approx(qor.cps)
+
+    def test_area_ordering(self, table4):
+        areas = {n: q.area for n, q in table4.rows.items()}
+        assert areas["swerv"] > areas["riscv32i"]
+        assert areas["swerv"] > areas["tinyRocket"]
+
+
+def test_benchmark_baseline_synthesis_speed(benchmark):
+    """pytest-benchmark target: one baseline synthesis (aes)."""
+    bench = get_benchmark("aes")
+
+    def run():
+        shell = DCShell()
+        shell.add_design(bench.name, bench.verilog, top=bench.top)
+        result = shell.run_script(baseline_script(bench))
+        assert result.success
+        return result.qor
+
+    qor = benchmark(run)
+    assert qor.area > 0

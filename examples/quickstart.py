@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: customize a synthesis script for one design with ChatLS.
+
+Runs the complete pipeline on a small pipelined design:
+
+1. synthesize a baseline script to get the reference QoR and tool report;
+2. build (a small) expert database over the Chipyard-like corpus;
+3. let ChatLS analyze the design, retrieve strategies and draft+refine a
+   customized script;
+4. run the customized script and compare QoR.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import ChatLS
+from repro.designs import build_default_database
+from repro.synth import DCShell
+
+DESIGN = """
+module mixer(input [15:0] x, output [15:0] y);
+  wire [15:0] r0, r1, r2, r3, r4, r5;
+  assign r0 = {x[14:0], x[15]} ^ x;
+  assign r1 = {r0[12:0], r0[15:13]} ^ r0;
+  assign r2 = {r1[10:0], r1[15:11]} ^ r1;
+  assign r3 = {r2[8:0], r2[15:9]} ^ r2;
+  assign r4 = {r3[6:0], r3[15:7]} ^ r3;
+  assign r5 = {r4[4:0], r4[15:5]} ^ r4;
+  assign y = r5;
+endmodule
+
+module mydesign(input clk, input [15:0] a, input [15:0] b, output reg [15:0] y);
+  reg [15:0] state;
+  wire [15:0] m1, m2;
+  mixer u1 (.x(state), .y(m1));
+  mixer u2 (.x(m1 ^ b), .y(m2));
+  always @(posedge clk) begin
+    state <= a + b;
+    y <= m2;
+  end
+endmodule
+"""
+
+BASELINE_SCRIPT = """\
+read_verilog mydesign
+current_design mydesign
+link
+set_wire_load_model -name 5K_heavy_1k
+create_clock -period 1.5 clk
+compile
+report_qor
+"""
+
+
+def main() -> None:
+    # Step 1: baseline synthesis --------------------------------------------------
+    shell = DCShell()
+    shell.add_design("mydesign", DESIGN)
+    baseline = shell.run_script(BASELINE_SCRIPT)
+    assert baseline.success, baseline.error
+    report = next(out for line, out in baseline.transcript if line == "report_qor")
+    print("=== baseline QoR ===")
+    print(baseline.qor.row())
+
+    # Step 2: expert database (kept small for the quickstart) ----------------------
+    print("\nbuilding expert database...")
+    database = build_default_database(
+        variants_per_family=1,
+        strategies=["baseline_compile", "high_effort", "ultra_retime"],
+    )
+    print(f"database: {len(database)} designs, families {sorted(database.families())}")
+
+    # Step 3: ChatLS customization ---------------------------------------------------
+    chatls = ChatLS(database)
+    result = chatls.customize_and_evaluate(
+        DESIGN,
+        "mydesign",
+        BASELINE_SCRIPT,
+        requirement="Optimize for timing: eliminate the negative slack.",
+        tool_report=report,
+        clock_period=1.5,
+    )
+
+    print("\n=== CircuitMentor analysis ===")
+    print(result.analysis.summary())
+    print("\n=== customized script ===")
+    print(result.script)
+    print("\n=== CoT trace ===")
+    print(result.trace.render() or "(no revisions needed)")
+
+    # Step 4: compare -------------------------------------------------------------------
+    print("\n=== QoR comparison ===")
+    print(f"baseline:   {baseline.qor.row()}")
+    print(f"customized: {result.qor.row()}")
+    improvement = result.qor.wns - baseline.qor.wns
+    print(f"WNS improvement: {improvement:+.3f} ns")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scenario: exploring SynthRAG's three retrieval modes (paper Table I).
+
+Builds the expert database with a metric-learning-trained encoder, then
+demonstrates:
+
+1. graph-embedding retrieval — "which database designs are like mine, and
+   what synthesis strategy worked for them?" (with Eq. 5 reranking);
+2. graph-structure retrieval — Cypher queries fetching module code and
+   library cell data;
+3. LLM-embedding retrieval — manual pages for natural-language questions,
+   reranked by the (simulated) LLM.
+
+Usage::
+
+    python examples/retrieval_explorer.py
+"""
+
+from repro.designs.chipyard import generate_family_variant
+from repro.eval.harness import _trained_database
+from repro.llm import chatls_core
+from repro.mentor import build_circuit_graph
+from repro.rag import SynthRAG
+
+
+def main() -> None:
+    print("training encoder + building database (metric learning)...")
+    database = _trained_database(variants_per_family=2)
+
+    # A query design the database has never seen.
+    query = generate_family_variant("gemmini", 9)
+    circuit = build_circuit_graph(query.verilog, query.name, top=query.top)
+    rag = SynthRAG.build(database, circuit=circuit, llm=chatls_core())
+
+    print("\n--- 1. graph-embedding retrieval (strategies) ---")
+    embedding = database.encoder.embed_design(circuit)
+    for hit in rag.retrieve_strategies(embedding, k=3):
+        print(f"  like {hit.design} (sim {hit.similarity:.3f}) "
+              f"-> strategy {hit.strategy}: {' ; '.join(hit.commands)}")
+
+    print("\n--- 2. graph-structure retrieval (Cypher) ---")
+    rows = rag.cypher(
+        "MATCH (m:Module) WHERE m.category = 'arithmetic' "
+        "RETURN m.name, m.category"
+    )
+    print(f"  arithmetic modules in the query design: "
+          f"{[r['m.name'] for r in rows]}")
+    code = rag.module_code(f"{query.name}_pe")
+    print(f"  fetched module code ({len(code or '')} chars) for the PE")
+    cell = rag.cell_info("NAND2_X2")
+    print(f"  library cell NAND2_X2: {cell}")
+
+    print("\n--- 3. manual retrieval (LLM embedding + LLM rerank) ---")
+    for question in (
+        "how do I balance registers across pipeline stages",
+        "what limits the fanout of a net",
+    ):
+        hits = rag.manual(question, k=2)
+        print(f"  Q: {question}")
+        for hit in hits:
+            first_line = hit.text.splitlines()[1].strip()
+            print(f"     -> {hit.command}: {first_line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario: driving the synthesis engine directly (no LLM in the loop).
+
+Shows the Design-Compiler-substitute as a standalone tool: write RTL, run
+DC-format Tcl scripts, read timing/area reports, and see what each
+optimization command physically does to the netlist.
+
+Usage::
+
+    python examples/synthesis_playground.py
+"""
+
+from repro.designs.generators import gen_imbalanced_pipeline
+from repro.synth import DCShell
+
+
+SCRIPTS = {
+    "plain compile": "compile",
+    "high effort": "compile -map_effort high",
+    "ultra (flattened)": "compile_ultra",
+    "ultra + retime": "compile_ultra -retime\noptimize_registers",
+    "fanout constrained": "set_max_fanout 12\ncompile_ultra\nbalance_buffer",
+}
+
+
+def main() -> None:
+    rtl = gen_imbalanced_pipeline("demo", width=10, heavy_ops=2)
+    period = 3.4
+
+    print(f"{'flow':22s} {'WNS':>8} {'TNS':>9} {'area':>9} {'cells':>7} {'regs':>6}")
+    for label, commands in SCRIPTS.items():
+        shell = DCShell()
+        shell.add_design("demo", rtl)
+        result = shell.run_script(
+            "\n".join(
+                [
+                    "read_verilog demo",
+                    "set_wire_load_model -name 5K_heavy_1k",
+                    f"create_clock -period {period} clk",
+                    commands,
+                ]
+            )
+        )
+        assert result.success, result.error
+        q = result.qor
+        print(f"{label:22s} {q.wns:8.3f} {q.tns:9.2f} {q.area:9.1f} "
+              f"{q.num_cells:7d} {q.num_registers:6d}")
+
+    # Show a critical-path report for the best flow.
+    shell = DCShell()
+    shell.add_design("demo", rtl)
+    shell.run_script(
+        "read_verilog demo\nset_wire_load_model -name 5K_heavy_1k\n"
+        f"create_clock -period {period} clk\ncompile_ultra -retime"
+    )
+    print("\n" + shell.timing_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""ChatLS reproduction: multimodal RAG + CoT for logic synthesis scripts.
+
+Reproduces "ChatLS: Multimodal Retrieval-Augmented Generation and
+Chain-of-Thought for Logic Synthesis Script Customization" (DAC 2025) as a
+self-contained Python library, including every substrate the paper
+depends on: a Verilog front end, a gate-level synthesis engine with STA
+(the Design Compiler substitute), a property-graph database with a Cypher
+subset (the Neo4j substitute), vector indexes (FAISS substitute), a numpy
+GraphSAGE framework (PyTorch-Geometric substitute) and deterministic
+simulated LLMs (GPT-4o / Claude substitutes).
+
+Top-level entry points::
+
+    from repro import ChatLS, build_default_database, DCShell
+"""
+
+from .core import BaselineRunner, ChatLS, CustomizationResult, parse_requirement
+from .designs import build_default_database, get_benchmark
+from .mentor import CircuitEncoder, analyze_design, build_circuit_graph
+from .rag import SynthRAG
+from .synth import DCShell, nangate45
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineRunner",
+    "ChatLS",
+    "CustomizationResult",
+    "parse_requirement",
+    "build_default_database",
+    "get_benchmark",
+    "CircuitEncoder",
+    "analyze_design",
+    "build_circuit_graph",
+    "SynthRAG",
+    "DCShell",
+    "nangate45",
+    "__version__",
+]

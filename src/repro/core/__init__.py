@@ -1,0 +1,28 @@
+"""ChatLS core: requirement parsing, Generator, SynthExpert, the facade.
+
+This package is the paper's primary contribution: the orchestration that
+couples CircuitMentor (analysis), SynthRAG (retrieval) and the LLM into a
+grounded, self-correcting synthesis-script customizer.
+"""
+
+from .baseline_runner import BaselineRun, BaselineRunner
+from .chatls import ChatLS, CustomizationResult
+from .generator import DraftResult, Generator
+from .requirements import Requirement, parse_requirement
+from .synthexpert import RefinementResult, SynthExpert
+from .thoughts import CoTTrace, ThoughtStep
+
+__all__ = [
+    "BaselineRun",
+    "BaselineRunner",
+    "ChatLS",
+    "CustomizationResult",
+    "DraftResult",
+    "Generator",
+    "Requirement",
+    "parse_requirement",
+    "RefinementResult",
+    "SynthExpert",
+    "CoTTrace",
+    "ThoughtStep",
+]

@@ -1,0 +1,293 @@
+"""ChatLS: the top-level framework (paper Fig. 1/Fig. 2).
+
+``ChatLS.customize`` runs the full pipeline for one design:
+
+1. **CircuitMentor** analyzes the design (graph, GNN embedding, pathology
+   detection) at the target clock period.
+2. **SynthRAG** is assembled over the expert database, the design's
+   property graph and the target library.
+3. The **Generator** drafts a customized script from the grounded prompt.
+4. **SynthExpert** revises each thought step with per-step retrieval,
+   repairing hallucinated commands against the manual (Eq. 6).
+
+``customize_pass_at_k`` evaluates Pass@k (Table III): k seeded drafts,
+each run through the synthesis tool; the best executable result wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..designs.database import ExpertDatabase
+from ..llm.base import LLMClient
+from ..llm.baselines import chatls_core
+from ..mentor.analyzer import DesignAnalysis, analyze_design
+from ..rag.synthrag import SynthRAG
+from ..synth.dcshell import DCShell
+from ..synth.library import TechLibrary, nangate45
+from ..synth.reports import QoRSnapshot
+from .generator import Generator
+from .requirements import Requirement, parse_requirement
+from .synthexpert import SynthExpert
+from .thoughts import CoTTrace
+
+__all__ = ["ChatLS", "CustomizationResult"]
+
+
+@dataclass
+class CustomizationResult:
+    """Output of one ChatLS customization."""
+
+    script: str
+    analysis: DesignAnalysis
+    trace: CoTTrace
+    prompt: str
+    qor: QoRSnapshot | None = None
+    executable: bool = True
+    error: str | None = None
+    seed: int = 0
+
+
+class ChatLS:
+    """The assembled framework."""
+
+    def __init__(
+        self,
+        database: ExpertDatabase,
+        llm: LLMClient | None = None,
+        library: TechLibrary | None = None,
+        use_synthexpert: bool = True,
+        use_rag: bool = True,
+    ) -> None:
+        self.database = database
+        self.llm = llm or chatls_core()
+        self.library = library or nangate45()
+        self.use_synthexpert = use_synthexpert
+        self.use_rag = use_rag
+
+    # -- single customization -----------------------------------------------------
+
+    def customize(
+        self,
+        verilog: str,
+        design_name: str,
+        baseline_script: str,
+        requirement: str | Requirement,
+        tool_report: str = "",
+        top: str | None = None,
+        clock_period: float = 1.0,
+        seed: int = 0,
+    ) -> CustomizationResult:
+        """Produce one customized synthesis script (no evaluation)."""
+        if isinstance(requirement, str):
+            requirement = parse_requirement(requirement)
+        analysis = analyze_design(
+            verilog,
+            design_name,
+            top=top,
+            clock_period=clock_period,
+            library=self.library,
+        )
+        rag = SynthRAG.build(
+            self.database,
+            circuit=analysis.circuit,
+            library=self.library,
+            llm=self.llm,
+        )
+        if self.use_rag:
+            rag.embedding_retriever.characteristic = requirement.rerank_characteristic
+        generator = Generator(self.llm, rag)
+        draft = generator.draft(
+            requirement,
+            baseline_script,
+            tool_report,
+            analysis if self.use_rag else _blank_analysis(analysis),
+            seed=seed,
+        )
+        if self.use_synthexpert:
+            refined = SynthExpert(self.llm, rag).refine(draft.script, analysis)
+            script, trace = refined.script, refined.trace
+        else:
+            script, trace = draft.script, CoTTrace()
+        return CustomizationResult(
+            script=script,
+            analysis=analysis,
+            trace=trace,
+            prompt=draft.prompt,
+            seed=seed,
+        )
+
+    # -- evaluated customization -----------------------------------------------------
+
+    def customize_and_evaluate(
+        self,
+        verilog: str,
+        design_name: str,
+        baseline_script: str,
+        requirement: str,
+        tool_report: str = "",
+        top: str | None = None,
+        clock_period: float = 1.0,
+        seed: int = 0,
+    ) -> CustomizationResult:
+        """Customize, then run the script through the synthesis tool."""
+        result = self.customize(
+            verilog,
+            design_name,
+            baseline_script,
+            requirement,
+            tool_report=tool_report,
+            top=top,
+            clock_period=clock_period,
+            seed=seed,
+        )
+        shell = DCShell(library=self.library)
+        shell.add_design(design_name, verilog, top=top)
+        run = shell.run_script(result.script)
+        result.executable = run.success
+        result.error = run.error
+        result.qor = run.qor
+        return result
+
+    def customize_iteratively(
+        self,
+        verilog: str,
+        design_name: str,
+        baseline_script: str,
+        requirement: str,
+        rounds: int = 3,
+        k: int = 3,
+        top: str | None = None,
+        clock_period: float = 1.0,
+    ) -> list[CustomizationResult]:
+        """Multi-iteration customization (paper §V-B: "logic synthesis is
+        inherently an iterative process, not a one-time execution").
+
+        Each round takes the previous round's best script as the new
+        baseline and feeds the fresh tool report back into the prompt, so
+        later rounds address the *residual* violations.  Stops early when
+        timing closes.  Returns one best result per executed round.
+        """
+        from ..synth.reports import render_qor_report
+
+        history: list[CustomizationResult] = []
+        script = baseline_script
+        report = ""
+        for round_index in range(rounds):
+            if round_index == 0:
+                result = self.customize_pass_at_k(
+                    verilog,
+                    design_name,
+                    script,
+                    requirement,
+                    k=k,
+                    tool_report=report,
+                    top=top,
+                    clock_period=clock_period,
+                )
+            else:
+                # Resynthesis round: extend the previous script with the
+                # incremental refinement commands for the residual
+                # violations, then re-run the tool.
+                extended = _extend_script(script)
+                shell = DCShell(library=self.library)
+                shell.add_design(design_name, verilog, top=top)
+                run = shell.run_script(extended)
+                result = CustomizationResult(
+                    script=extended,
+                    analysis=history[0].analysis,
+                    trace=CoTTrace(),
+                    prompt="",
+                    qor=run.qor,
+                    executable=run.success,
+                    error=run.error,
+                )
+            history.append(result)
+            if result.qor is None:
+                break
+            # Keep the round only if it did not regress; otherwise carry
+            # the previous best script forward.
+            if len(history) >= 2 and history[-2].qor is not None:
+                if not _better_timing(result.qor, history[-2].qor):
+                    result = history[-2]
+            script = result.script
+            report = render_qor_report(result.qor)
+            if result.qor.wns >= 0:
+                break
+        return history
+
+    def customize_pass_at_k(
+        self,
+        verilog: str,
+        design_name: str,
+        baseline_script: str,
+        requirement: str,
+        k: int = 5,
+        tool_report: str = "",
+        top: str | None = None,
+        clock_period: float = 1.0,
+    ) -> CustomizationResult:
+        """Pass@k: best executable result over k seeded samples (Table III)."""
+        best: CustomizationResult | None = None
+        for seed in range(k):
+            result = self.customize_and_evaluate(
+                verilog,
+                design_name,
+                baseline_script,
+                requirement,
+                tool_report=tool_report,
+                top=top,
+                clock_period=clock_period,
+                seed=seed,
+            )
+            if not result.executable or result.qor is None:
+                if best is None:
+                    best = result
+                continue
+            if best is None or best.qor is None:
+                best = result
+            elif _better_timing(result.qor, best.qor):
+                best = result
+        assert best is not None
+        return best
+
+
+def _extend_script(script: str) -> str:
+    """Append one round of incremental refinement to a synthesis script.
+
+    Report lines stay at the end; the refinement block (register retiming,
+    buffer balancing, incremental compile) goes after the last compile-
+    class command.
+    """
+    lines = [l for l in script.splitlines() if l.strip()]
+    reports = [l for l in lines if l.split()[0].startswith("report")]
+    body = [l for l in lines if not l.split()[0].startswith("report")]
+    body += ["optimize_registers", "balance_buffer", "compile -incremental"]
+    return "\n".join(body + reports)
+
+
+def _better_timing(a: QoRSnapshot, b: QoRSnapshot) -> bool:
+    """Timing-first comparison (the paper's evaluation objective).
+
+    Negative slack is eliminated first (WNS, then TNS); once timing is
+    closed, remaining positive slack is traded for area (paper §V-B:
+    timing closure "can be traded for improvements in area and power").
+    """
+    if round(a.wns, 4) != round(b.wns, 4):
+        return a.wns > b.wns
+    if round(a.tns, 4) != round(b.tns, 4):
+        return a.tns > b.tns
+    if a.wns >= 0 and round(a.area, 2) != round(b.area, 2):
+        return a.area < b.area
+    if round(a.cps, 4) != round(b.cps, 4):
+        return a.cps > b.cps
+    return a.area < b.area
+
+
+def _blank_analysis(analysis: DesignAnalysis) -> DesignAnalysis:
+    """Ablation helper: strip pathologies so prompts carry no analysis."""
+    import copy
+
+    blank = copy.copy(analysis)
+    blank.pathologies = []
+    return blank

@@ -1,0 +1,74 @@
+"""The Generator: drafts a customized synthesis script (paper Fig. 2).
+
+Builds the grounded prompt — user requirement, baseline script, tool
+report, CircuitMentor analysis, SynthRAG strategy retrievals and manual
+excerpts — and asks the core LLM for a draft script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..llm.base import LLMClient
+from ..llm.prompts import build_prompt, extract_script
+from ..mentor.analyzer import DesignAnalysis
+from ..rag.knowledge import render_strategy_section, strategies_for_pathologies
+from ..rag.synthrag import SynthRAG
+from .requirements import Requirement
+
+__all__ = ["DraftResult", "Generator"]
+
+
+@dataclass
+class DraftResult:
+    """One drafted script plus the prompt context that produced it."""
+
+    script: str
+    prompt: str
+    completion_text: str
+    strategies_used: list[str]
+
+
+class Generator:
+    """LLM script drafter grounded by analysis + retrieval."""
+
+    def __init__(self, llm: LLMClient, rag: SynthRAG) -> None:
+        self.llm = llm
+        self.rag = rag
+
+    def draft(
+        self,
+        requirement: Requirement,
+        baseline_script: str,
+        tool_report: str,
+        analysis: DesignAnalysis,
+        seed: int = 0,
+        k_strategies: int = 2,
+    ) -> DraftResult:
+        """Draft a customized script for one design."""
+        design_embedding = self.rag.encoder.embed_design(analysis.circuit)
+        hits = self.rag.retrieve_strategies(design_embedding, k=k_strategies)
+        pathology_strats = strategies_for_pathologies(analysis.pathologies, limit=2)
+        strategy_section = render_strategy_section(
+            hits=hits, pathology_strategies=pathology_strats
+        )
+        manual_hits = self.rag.manual(requirement.text, k=2)
+        manual_section = "\n\n".join(h.text for h in manual_hits)
+        sections = {
+            "USER REQUIREMENT": requirement.text,
+            "BASELINE SCRIPT": baseline_script,
+            "TOOL REPORT": tool_report,
+            "CIRCUIT ANALYSIS": analysis.summary(),
+            "RETRIEVED STRATEGIES": strategy_section,
+            "MANUAL EXCERPTS": manual_section,
+        }
+        prompt = build_prompt(sections)
+        completion = self.llm.complete(prompt, seed=seed)
+        script = extract_script(completion.text) or baseline_script
+        return DraftResult(
+            script=script,
+            prompt=prompt,
+            completion_text=completion.text,
+            strategies_used=[s.name for s in pathology_strats]
+            + [h.strategy for h in hits],
+        )

@@ -1,0 +1,54 @@
+"""Natural-language requirement interpretation.
+
+ChatLS accepts free-form user requirements ("optimize this design for
+timing", "reduce area but keep timing closure").  This module normalizes
+them into a structured objective used for prompt construction and for
+choosing the reranking characteristic in SynthRAG (Eq. 5's ``c_i``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Requirement", "parse_requirement"]
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """Structured form of a user's customization request."""
+
+    text: str
+    objective: str  # "timing" | "area" | "power" | "balanced"
+    keep_timing: bool = True
+
+    @property
+    def rerank_characteristic(self) -> str:
+        return {"timing": "cps", "area": "area", "power": "leakage"}.get(
+            self.objective, "cps"
+        )
+
+
+_TIMING_WORDS = ("timing", "slack", "wns", "tns", "speed", "frequency", "delay", "violation")
+_AREA_WORDS = ("area", "size", "smaller", "gate count", "cell count")
+_POWER_WORDS = ("power", "leakage", "energy")
+
+
+def parse_requirement(text: str) -> Requirement:
+    """Classify a natural-language requirement into an objective."""
+    lowered = text.lower()
+
+    def score(words: tuple[str, ...]) -> int:
+        return sum(1 for w in words if w in lowered)
+
+    scores = {
+        "timing": score(_TIMING_WORDS),
+        "area": score(_AREA_WORDS),
+        "power": score(_POWER_WORDS),
+    }
+    best = max(scores, key=scores.get)
+    objective = best if scores[best] > 0 else "timing"
+    # "reduce area without breaking timing" style phrasing keeps the
+    # timing guard on; explicit "ignore timing" drops it.
+    keep_timing = not re.search(r"ignore\s+timing|timing\s+не|at any cost", lowered)
+    return Requirement(text=text, objective=objective, keep_timing=keep_timing)

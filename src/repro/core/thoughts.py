@@ -1,0 +1,51 @@
+"""Thought-step containers for SynthExpert's CoT trace (paper Eq. 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ThoughtStep", "CoTTrace"]
+
+
+@dataclass
+class ThoughtStep:
+    """One reasoning step T_i and its RAG-revised form T_i*."""
+
+    index: int
+    content: str  # the draft thought (usually one script command + intent)
+    query: str = ""  # Q_i formulated from the step
+    retrieved: str = ""  # R_i
+    revised: str = ""  # T_i*
+    action: str = "kept"  # kept | repaired | dropped
+
+    @property
+    def final(self) -> str:
+        return self.revised or self.content
+
+
+@dataclass
+class CoTTrace:
+    """The full chain of revised thoughts for one customization run."""
+
+    steps: list[ThoughtStep] = field(default_factory=list)
+
+    def add(self, step: ThoughtStep) -> None:
+        self.steps.append(step)
+
+    @property
+    def num_repaired(self) -> int:
+        return sum(1 for s in self.steps if s.action == "repaired")
+
+    @property
+    def num_dropped(self) -> int:
+        return sum(1 for s in self.steps if s.action == "dropped")
+
+    def render(self) -> str:
+        lines = []
+        for step in self.steps:
+            lines.append(f"T{step.index}: {step.content}")
+            if step.query:
+                lines.append(f"  Q{step.index}: {step.query}")
+            if step.action != "kept":
+                lines.append(f"  -> {step.action}: {step.final}")
+        return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Benchmark designs: RTL generators, the seven evaluation designs,
+the Chipyard-like SoC corpus, and the expert design database."""
+
+from .chipyard import FAMILIES, SoCDesign, generate_corpus, generate_family_variant
+from .database import (
+    STRATEGIES,
+    DatabaseEntry,
+    ExpertDatabase,
+    Strategy,
+    build_default_database,
+)
+from .opencores import BENCHMARKS, Benchmark, benchmark_names, get_benchmark
+
+__all__ = [
+    "FAMILIES",
+    "SoCDesign",
+    "generate_corpus",
+    "generate_family_variant",
+    "STRATEGIES",
+    "DatabaseEntry",
+    "ExpertDatabase",
+    "Strategy",
+    "build_default_database",
+    "BENCHMARKS",
+    "Benchmark",
+    "benchmark_names",
+    "get_benchmark",
+]

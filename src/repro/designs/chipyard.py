@@ -1,0 +1,254 @@
+"""Chipyard-like SoC configuration generator (paper Table II, §V-A).
+
+Generates families of related designs — processor cores (Rocket/Sodor
+style), ML accelerators (NVDLA/Gemmini style), vector SIMD units, FFT
+signal processing, SHA3 crypto — each with parameter variations.  Family
+labels are the retrieval ground truth for the SynthRAG F1 experiment
+(paper Fig. 5): a query design should retrieve same-family entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .generators import (
+    gen_alu,
+    gen_counter,
+    gen_fifo,
+    gen_lfsr,
+    gen_mac_pipeline,
+    gen_regfile,
+    gen_sbox,
+    gen_xor_network,
+)
+
+__all__ = ["FAMILIES", "SoCDesign", "generate_family_variant", "generate_corpus"]
+
+#: The seven component families of Table II.
+FAMILIES = {
+    "rocket": "Processor Core",
+    "sodor": "Processor Core",
+    "nvdla": "Machine Learning Accelerator",
+    "gemmini": "Machine Learning Accelerator",
+    "simd": "Vector Arithmetic",
+    "fft": "Signal Processing",
+    "sha3": "Cryptographic Arithmetic",
+}
+
+
+@dataclass(frozen=True)
+class SoCDesign:
+    """One generated design with its ground-truth family label."""
+
+    name: str
+    family: str
+    category: str
+    verilog: str
+    top: str
+
+
+def _rocket(name: str, width: int, depth: int) -> str:
+    alu = gen_alu(f"{name}_alu", width=width)
+    rf = gen_regfile(f"{name}_rf", width=width, depth=depth)
+    pc = gen_counter(f"{name}_pc", width=width)
+    return alu + rf + pc + f"""
+module {name}(
+  input clk,
+  input [{width - 1}:0] instr,
+  input we,
+  output reg [{width - 1}:0] result,
+  output [{width - 1}:0] pc
+);
+  wire [{width - 1}:0] rs1, rs2, y;
+  wire zero;
+  {name}_rf rf (.clk(clk), .we(we), .waddr(instr[8:6]), .wdata(y),
+     .raddr1(instr[2:0]), .raddr2(instr[5:3]), .rdata1(rs1), .rdata2(rs2));
+  {name}_alu alu (.a(rs1), .b(rs2), .op(instr[11:9]), .y(y), .zero(zero));
+  {name}_pc pcreg (.clk(clk), .en(1'b1), .load(zero), .d(y), .q(pc));
+  always @(posedge clk) result <= y;
+endmodule
+"""
+
+
+def _sodor(name: str, width: int, depth: int) -> str:
+    alu = gen_alu(f"{name}_alu", width=width)
+    rf = gen_regfile(f"{name}_rf", width=width, depth=depth)
+    return alu + rf + f"""
+module {name}(
+  input clk,
+  input [{width - 1}:0] instr,
+  input we,
+  output reg [{width - 1}:0] result
+);
+  wire [{width - 1}:0] rs1, rs2, y;
+  wire zero;
+  {name}_rf rf (.clk(clk), .we(we), .waddr(instr[8:6]), .wdata(y),
+     .raddr1(instr[2:0]), .raddr2(instr[5:3]), .rdata1(rs1), .rdata2(rs2));
+  {name}_alu alu (.a(rs1), .b(rs2), .op(instr[11:9]), .y(y), .zero(zero));
+  always @(posedge clk) result <= y;
+endmodule
+"""
+
+
+def _nvdla(name: str, width: int, lanes: int) -> str:
+    mac = gen_mac_pipeline(f"{name}_mac", width=width, stages=2)
+    acc_width = 2 * width + 4
+    insts = "\n".join(
+        f"  {name}_mac m{i} (.clk(clk), .a(a{i}), .b(w{i}), .acc(acc{i}));"
+        for i in range(lanes)
+    )
+    ports_a = ",\n".join(f"  input [{width - 1}:0] a{i}" for i in range(lanes))
+    ports_w = ",\n".join(f"  input [{width - 1}:0] w{i}" for i in range(lanes))
+    ports_o = ",\n".join(
+        f"  output [{acc_width - 1}:0] acc{i}" for i in range(lanes)
+    )
+    return mac + f"""
+module {name}(
+  input clk,
+{ports_a},
+{ports_w},
+{ports_o}
+);
+{insts}
+endmodule
+"""
+
+
+def _gemmini(name: str, width: int, lanes: int) -> str:
+    # Systolic-ish: chained MACs, output of lane i feeds lane i+1's b.
+    mac = gen_mac_pipeline(f"{name}_pe", width=width, stages=1)
+    acc_width = 2 * width + 4
+    insts = []
+    for i in range(lanes):
+        b_src = "b0" if i == 0 else f"acc{i - 1}[{width - 1}:0]"
+        insts.append(
+            f"  {name}_pe pe{i} (.clk(clk), .a(a{i}), .b({b_src}), .acc(acc{i}));"
+        )
+    ports_a = ",\n".join(f"  input [{width - 1}:0] a{i}" for i in range(lanes))
+    decls = "\n".join(f"  wire [{acc_width - 1}:0] acc{i};" for i in range(lanes))
+    return mac + f"""
+module {name}(
+  input clk,
+  input [{width - 1}:0] b0,
+{ports_a},
+  output [{acc_width - 1}:0] result
+);
+{decls}
+{chr(10).join(insts)}
+  assign result = acc{lanes - 1};
+endmodule
+"""
+
+
+def _simd(name: str, width: int, lanes: int) -> str:
+    alu = gen_alu(f"{name}_lane", width=width)
+    insts = "\n".join(
+        f"  {name}_lane l{i} (.a(a[{(i + 1) * width - 1}:{i * width}]), "
+        f".b(b[{(i + 1) * width - 1}:{i * width}]), .op(op), "
+        f".y(y[{(i + 1) * width - 1}:{i * width}]), .zero(z[{i}]));"
+        for i in range(lanes)
+    )
+    total = width * lanes
+    return alu + f"""
+module {name}(
+  input [{total - 1}:0] a,
+  input [{total - 1}:0] b,
+  input [2:0] op,
+  output [{total - 1}:0] y,
+  output [{lanes - 1}:0] z
+);
+{insts}
+endmodule
+"""
+
+
+def _fft(name: str, width: int, stages: int) -> str:
+    # Radix-2 butterfly chain with registered stages.
+    mac = gen_mac_pipeline(f"{name}_bf", width=width, stages=1)
+    acc_width = 2 * width + 4
+    body = []
+    for i in range(stages):
+        src_r = "in_r" if i == 0 else f"r{i - 1}"
+        src_i = "in_i" if i == 0 else f"q{i - 1}"
+        body.append(f"""
+  reg [{width - 1}:0] r{i}, q{i};
+  always @(posedge clk) begin
+    r{i} <= {src_r} + {src_i};
+    q{i} <= {src_r} - {src_i};
+  end""")
+    return mac + f"""
+module {name}(
+  input clk,
+  input [{width - 1}:0] in_r,
+  input [{width - 1}:0] in_i,
+  input [{width - 1}:0] twiddle,
+  output [{width - 1}:0] out_r,
+  output [{width - 1}:0] out_i,
+  output [{acc_width - 1}:0] scaled
+);
+{chr(10).join(body)}
+  assign out_r = r{stages - 1};
+  assign out_i = q{stages - 1};
+  {name}_bf tw (.clk(clk), .a(r{stages - 1}), .b(twiddle), .acc(scaled));
+endmodule
+"""
+
+
+def _sha3(name: str, width: int, rounds: int) -> str:
+    nets = "".join(
+        gen_xor_network(f"{name}_theta{i}", width=width, taps=5, seed=17 + i)
+        for i in range(rounds)
+    )
+    sbox = gen_sbox(f"{name}_chi", width=5, seed=23)
+    chain = []
+    for i in range(rounds):
+        src = "state" if i == 0 else f"t{i - 1}"
+        chain.append(f"  wire [{width - 1}:0] t{i};")
+        chain.append(f"  {name}_theta{i} th{i} (.x({src}), .y(t{i}));")
+    return nets + sbox + f"""
+module {name}(
+  input clk,
+  input [{width - 1}:0] din,
+  output reg [{width - 1}:0] state,
+  output [4:0] mixed
+);
+{chr(10).join(chain)}
+  {name}_chi chi (.x(state[4:0]), .y(mixed));
+  always @(posedge clk) state <= din ^ t{rounds - 1};
+endmodule
+"""
+
+
+_FAMILY_BUILDERS = {
+    "rocket": lambda name, v: _rocket(name, width=12 + 4 * (v % 2), depth=8),
+    "sodor": lambda name, v: _sodor(name, width=12 + 4 * (v % 2), depth=4 + 4 * (v % 2)),
+    "nvdla": lambda name, v: _nvdla(name, width=6 + (v % 3), lanes=2 + v % 2),
+    "gemmini": lambda name, v: _gemmini(name, width=6 + (v % 3), lanes=2 + v % 2),
+    "simd": lambda name, v: _simd(name, width=8, lanes=2 + v % 3),
+    "fft": lambda name, v: _fft(name, width=8 + 2 * (v % 2), stages=2 + v % 3),
+    "sha3": lambda name, v: _sha3(name, width=24 + 8 * (v % 2), rounds=2 + v % 2),
+}
+
+
+def generate_family_variant(family: str, variant: int) -> SoCDesign:
+    """One parameterized variant of a component family."""
+    if family not in _FAMILY_BUILDERS:
+        raise KeyError(f"unknown family {family!r}; known: {sorted(_FAMILY_BUILDERS)}")
+    name = f"{family}_v{variant}"
+    verilog = _FAMILY_BUILDERS[family](name, variant)
+    return SoCDesign(
+        name=name,
+        family=family,
+        category=FAMILIES[family],
+        verilog=verilog,
+        top=name,
+    )
+
+
+def generate_corpus(variants_per_family: int = 3) -> list[SoCDesign]:
+    """The full labelled corpus used by database building and Fig. 5."""
+    corpus = []
+    for family in FAMILIES:
+        for v in range(variants_per_family):
+            corpus.append(generate_family_variant(family, v))
+    return corpus

@@ -1,0 +1,292 @@
+"""Parameterized RTL generators: reusable building blocks.
+
+These emit Verilog text (consumed by :mod:`repro.hdl`) for the structural
+idioms that the benchmark designs are assembled from: ALUs, multiply-
+accumulate pipelines, register files, FIFOs, S-box lookups, XOR/CRC
+networks, round-robin arbiters and crossbars.  Each generator is
+deterministic given its parameters.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "gen_alu",
+    "gen_mac_pipeline",
+    "gen_regfile",
+    "gen_fifo",
+    "gen_sbox",
+    "gen_xor_network",
+    "gen_arbiter",
+    "gen_crossbar",
+    "gen_counter",
+    "gen_lfsr",
+    "gen_imbalanced_pipeline",
+]
+
+
+def gen_alu(name: str = "alu", width: int = 16) -> str:
+    """A combinational ALU with add/sub/logic/shift/compare ops."""
+    return f"""
+module {name}(
+  input [{width - 1}:0] a,
+  input [{width - 1}:0] b,
+  input [2:0] op,
+  output reg [{width - 1}:0] y,
+  output zero
+);
+  always @(*) begin
+    case (op)
+      3'd0: y = a + b;
+      3'd1: y = a - b;
+      3'd2: y = a & b;
+      3'd3: y = a | b;
+      3'd4: y = a ^ b;
+      3'd5: y = a << b[3:0];
+      3'd6: y = a >> b[3:0];
+      default: y = {{{width - 1}'d0, a < b}};
+    endcase
+  end
+  assign zero = y == {width}'d0;
+endmodule
+"""
+
+
+def gen_mac_pipeline(name: str = "mac", width: int = 8, stages: int = 2) -> str:
+    """A registered multiply-accumulate: the wide-arithmetic workhorse."""
+    acc_width = 2 * width + 4
+    stage_regs = "\n".join(
+        f"  reg [{acc_width - 1}:0] p{i};" for i in range(stages)
+    )
+    stage_chain = "\n".join(
+        f"    p{i} <= p{i - 1};" for i in range(1, stages)
+    )
+    return f"""
+module {name}(
+  input clk,
+  input [{width - 1}:0] a,
+  input [{width - 1}:0] b,
+  output reg [{acc_width - 1}:0] acc
+);
+{stage_regs}
+  always @(posedge clk) begin
+    p0 <= a * b;
+{stage_chain}
+    acc <= acc + p{stages - 1};
+  end
+endmodule
+"""
+
+
+def gen_regfile(name: str = "regfile", width: int = 16, depth: int = 8) -> str:
+    """A synchronous-write, asynchronous-read register file (2R1W)."""
+    aw = max((depth - 1).bit_length(), 1)
+    return f"""
+module {name}(
+  input clk,
+  input we,
+  input [{aw - 1}:0] waddr,
+  input [{width - 1}:0] wdata,
+  input [{aw - 1}:0] raddr1,
+  input [{aw - 1}:0] raddr2,
+  output [{width - 1}:0] rdata1,
+  output [{width - 1}:0] rdata2
+);
+  reg [{width - 1}:0] mem [0:{depth - 1}];
+  assign rdata1 = mem[raddr1];
+  assign rdata2 = mem[raddr2];
+  always @(posedge clk) begin
+    if (we) mem[waddr] <= wdata;
+  end
+endmodule
+"""
+
+
+def gen_fifo(name: str = "fifo", width: int = 8, depth: int = 8) -> str:
+    """A synchronous FIFO with full/empty flags."""
+    aw = max((depth - 1).bit_length(), 1)
+    return f"""
+module {name}(
+  input clk,
+  input push,
+  input pop,
+  input [{width - 1}:0] din,
+  output [{width - 1}:0] dout,
+  output full,
+  output empty
+);
+  reg [{width - 1}:0] mem [0:{depth - 1}];
+  reg [{aw}:0] wptr;
+  reg [{aw}:0] rptr;
+  assign dout = mem[rptr[{aw - 1}:0]];
+  assign empty = wptr == rptr;
+  assign full = (wptr[{aw - 1}:0] == rptr[{aw - 1}:0]) && (wptr[{aw}] != rptr[{aw}]);
+  always @(posedge clk) begin
+    if (push && !full) begin
+      mem[wptr[{aw - 1}:0]] <= din;
+      wptr <= wptr + 1'b1;
+    end
+    if (pop && !empty) begin
+      rptr <= rptr + 1'b1;
+    end
+  end
+endmodule
+"""
+
+
+def gen_sbox(name: str = "sbox", width: int = 8, seed: int = 7) -> str:
+    """A random substitution box as a full case table (AES-style)."""
+    rng = random.Random(seed)
+    entries = list(range(2**width))
+    rng.shuffle(entries)
+    cases = "\n".join(
+        f"      {width}'d{i}: y = {width}'d{v};" for i, v in enumerate(entries)
+    )
+    return f"""
+module {name}(input [{width - 1}:0] x, output reg [{width - 1}:0] y);
+  always @(*) begin
+    case (x)
+{cases}
+      default: y = {width}'d0;
+    endcase
+  end
+endmodule
+"""
+
+
+def gen_xor_network(name: str = "xornet", width: int = 32, taps: int = 6, seed: int = 3) -> str:
+    """A deep XOR mixing network (MixColumns / CRC flavoured)."""
+    rng = random.Random(seed)
+    lines = []
+    for i in range(width):
+        chosen = rng.sample(range(width), min(taps, width))
+        expr = " ^ ".join(f"x[{j}]" for j in chosen)
+        lines.append(f"  assign y[{i}] = {expr};")
+    body = "\n".join(lines)
+    return f"""
+module {name}(input [{width - 1}:0] x, output [{width - 1}:0] y);
+{body}
+endmodule
+"""
+
+
+def gen_arbiter(name: str = "arbiter", ports: int = 4) -> str:
+    """A fixed-priority arbiter with registered grant outputs."""
+    grant_terms = []
+    for i in range(ports):
+        blockers = " & ".join(f"~req[{j}]" for j in range(i)) or "1'b1"
+        grant_terms.append(f"    grant[{i}] <= req[{i}] & ({blockers});")
+    body = "\n".join(grant_terms)
+    return f"""
+module {name}(
+  input clk,
+  input [{ports - 1}:0] req,
+  output reg [{ports - 1}:0] grant
+);
+  always @(posedge clk) begin
+{body}
+  end
+endmodule
+"""
+
+
+def gen_crossbar(name: str = "xbar", ports: int = 4, width: int = 8) -> str:
+    """A full crossbar: each output selects any input (NoC router core)."""
+    aw = max((ports - 1).bit_length(), 1)
+    ins = ",\n".join(
+        f"  input [{width - 1}:0] in{i}" for i in range(ports)
+    )
+    outs = ",\n".join(
+        f"  output reg [{width - 1}:0] out{i}" for i in range(ports)
+    )
+    sels = ",\n".join(f"  input [{aw - 1}:0] sel{i}" for i in range(ports))
+    blocks = []
+    for o in range(ports):
+        cases = "\n".join(
+            f"      {aw}'d{i}: out{o} = in{i};" for i in range(ports)
+        )
+        blocks.append(
+            f"""  always @(*) begin
+    case (sel{o})
+{cases}
+      default: out{o} = {width}'d0;
+    endcase
+  end"""
+        )
+    body = "\n".join(blocks)
+    return f"""
+module {name}(
+{ins},
+{sels},
+{outs}
+);
+{body}
+endmodule
+"""
+
+
+def gen_counter(name: str = "counter", width: int = 16) -> str:
+    """An up-counter with synchronous load and enable."""
+    return f"""
+module {name}(
+  input clk,
+  input en,
+  input load,
+  input [{width - 1}:0] d,
+  output reg [{width - 1}:0] q
+);
+  always @(posedge clk) begin
+    if (load) q <= d;
+    else if (en) q <= q + {width}'d1;
+  end
+endmodule
+"""
+
+
+def gen_lfsr(name: str = "lfsr", width: int = 16, taps: tuple[int, ...] = (0, 2, 3, 5)) -> str:
+    """A Fibonacci LFSR (crypto/DSP flavoured feedback register)."""
+    feedback = " ^ ".join(f"q[{t}]" for t in taps if t < width)
+    return f"""
+module {name}(input clk, input en, output reg [{width - 1}:0] q);
+  always @(posedge clk) begin
+    if (en) q <= {{q[{width - 2}:0], {feedback}}};
+  end
+endmodule
+"""
+
+
+def gen_imbalanced_pipeline(
+    name: str = "imbpipe", width: int = 8, heavy_ops: int = 2
+) -> str:
+    """A pipeline with one overloaded stage: the retiming showcase.
+
+    Stage 1 is trivial (register), stage 2 chains ``heavy_ops`` multipliers
+    back to back; retiming can push registers into the heavy stage.
+    """
+    heavy = "s1"
+    chain_decls = []
+    chain_stmts = []
+    for i in range(heavy_ops):
+        chain_decls.append(f"  wire [{width - 1}:0] h{i};")
+        src = heavy if i == 0 else f"h{i - 1}"
+        chain_stmts.append(
+            f"  assign h{i} = ({src} * k{i}) + {{{src}[{width - 2}:0], {src}[{width - 1}]}};"
+        )
+    ks = ",\n".join(f"  input [{width - 1}:0] k{i}" for i in range(heavy_ops))
+    return f"""
+module {name}(
+  input clk,
+  input [{width - 1}:0] din,
+{ks},
+  output reg [{width - 1}:0] dout
+);
+  reg [{width - 1}:0] s1;
+{chr(10).join(chain_decls)}
+{chr(10).join(chain_stmts)}
+  always @(posedge clk) begin
+    s1 <= din;
+    dout <= h{heavy_ops - 1};
+  end
+endmodule
+"""

@@ -1,0 +1,27 @@
+"""Evaluation harness: metrics, table/figure renderers, experiment drivers."""
+
+from .harness import (
+    TIMING_REQUIREMENT,
+    baseline_script,
+    run_fig4_metric_learning,
+    run_fig5_synthrag,
+    run_table3_customization,
+    run_table4_baseline,
+)
+from .metrics import RetrievalScore, mean_f1, pass_at_k, precision_recall_f1
+from .tables import render_series, render_table
+
+__all__ = [
+    "TIMING_REQUIREMENT",
+    "baseline_script",
+    "run_fig4_metric_learning",
+    "run_fig5_synthrag",
+    "run_table3_customization",
+    "run_table4_baseline",
+    "RetrievalScore",
+    "mean_f1",
+    "pass_at_k",
+    "precision_recall_f1",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,58 @@
+"""Evaluation metrics: precision/recall/F1 (paper Eq. 7) and pass@k."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["RetrievalScore", "precision_recall_f1", "mean_f1", "pass_at_k"]
+
+
+@dataclass(frozen=True)
+class RetrievalScore:
+    """P/R/F1 for one query."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def precision_recall_f1(
+    retrieved: Sequence, relevant: Iterable, k: int | None = None
+) -> RetrievalScore:
+    """Score one retrieval against its relevant set (paper Eq. 7).
+
+    Args:
+        retrieved: ranked retrieval results (ids).
+        relevant: the ground-truth relevant ids.
+        k: optionally truncate retrieved to the top-k before scoring.
+
+    Recall is computed against ``min(len(relevant), len(retrieved))`` so a
+    top-k query is not penalized for a relevant set larger than k.
+    """
+    relevant_set = set(relevant)
+    items = list(retrieved[:k] if k else retrieved)
+    if not items:
+        return RetrievalScore(precision=0.0, recall=0.0)
+    true_positives = sum(1 for item in items if item in relevant_set)
+    precision = true_positives / len(items)
+    denom = min(len(relevant_set), len(items))
+    recall = true_positives / denom if denom else 0.0
+    return RetrievalScore(precision=precision, recall=recall)
+
+
+def mean_f1(scores: Iterable[RetrievalScore]) -> float:
+    scores = list(scores)
+    if not scores:
+        return 0.0
+    return sum(s.f1 for s in scores) / len(scores)
+
+
+def pass_at_k(successes: Sequence[bool]) -> bool:
+    """Whether any of the k samples succeeded (Table III's Pass@5)."""
+    return any(successes)

@@ -1,0 +1,91 @@
+"""Print every reproduced table and figure.
+
+Usage::
+
+    python -m repro.eval.report [--fast]
+
+``--fast`` shrinks the database/epochs for a quicker (but still complete)
+run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..designs.database import build_default_database
+from .harness import (
+    _trained_database,
+    run_fig4_metric_learning,
+    run_fig5_synthrag,
+    run_table3_customization,
+    run_table4_baseline,
+)
+from .tables import render_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="smaller runs")
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    print("=" * 72)
+    table4 = run_table4_baseline()
+    print(table4.render())
+
+    print()
+    print("=" * 72)
+    database = build_default_database(variants_per_family=1)
+    table3 = run_table3_customization(database=database, k=3 if args.fast else 5)
+    print(table3.render())
+
+    print()
+    print("=" * 72)
+    fig5 = run_fig5_synthrag(
+        database=_trained_database(variants_per_family=2)
+    )
+    print("FIG 5: SynthRAG retrieval F1")
+    print(fig5.render())
+
+    print()
+    print("=" * 72)
+    fig4 = run_fig4_metric_learning(
+        variants_per_family=2 if args.fast else 3,
+        epochs=20 if args.fast else 40,
+    )
+    print(fig4.render())
+
+    print()
+    print("=" * 72)
+    from ..rag.synthrag import QUERY_METHODS
+
+    rows = [
+        [r["category"], r["representation"], r["query_method"], r["retrieval_content"]]
+        for r in QUERY_METHODS
+    ]
+    print(
+        render_table(
+            ["Category", "Representation", "Query", "Content"],
+            rows,
+            title="TABLE I: Summary of Query Methods",
+        )
+    )
+    rows2 = [
+        [r["category"], ", ".join(r["components"])] for r in database.table2()
+    ]
+    print()
+    print(
+        render_table(
+            ["Category", "Components"],
+            rows2,
+            title="TABLE II: Overview of Hardware Designs in the Database",
+        )
+    )
+    print(f"\n[total {time.time() - start:.0f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Plain-text table/figure rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Render a fixed-width text table (the paper-table analogue)."""
+    columns = [
+        [str(h)] + [_fmt(row[i]) for row in rows] for i, h in enumerate(headers)
+    ]
+    widths = [max(len(v) for v in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, points: Sequence[tuple[Any, Any]], value_format: str = "{:.3f}"
+) -> str:
+    """Render one figure series as ``x -> y`` lines."""
+    lines = [f"series: {name}"]
+    for x, y in points:
+        value = value_format.format(y) if isinstance(y, float) else str(y)
+        lines.append(f"  {x}: {value}")
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,14 @@
+"""Numpy GNN framework: GraphSAGE layers, models, optimizers.
+
+This is the repository's PyTorch-Geometric substitute: it implements the
+paper's Eq. 3 message passing with mean aggregation, hierarchical mean
+pooling for graph embeddings, and hand-derived backward passes so metric
+learning (paper §IV-A) can train end to end without autograd.
+"""
+
+from .graph import GraphData, mean_adjacency
+from .layers import SAGELayer
+from .model import GraphSAGE
+from .optim import SGD, Adam
+
+__all__ = ["GraphData", "mean_adjacency", "SAGELayer", "GraphSAGE", "SGD", "Adam"]

@@ -1,0 +1,111 @@
+"""GraphSAGE layers with explicit forward/backward passes.
+
+Implements the paper's Eq. 3:
+
+    h_v^(k) = sigma( W^(k) . Aggregator({h_u^(k-1), u in N(v)}) )
+
+in the common "self + neighbour" parameterization:
+
+    H^(k) = sigma( H^(k-1) W_self + (A_mean H^(k-1)) W_neigh + b )
+
+where ``A_mean`` is a row-normalized adjacency (mean aggregator).  Backward
+passes are hand-derived so no autograd framework is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SAGELayer", "relu", "relu_grad", "tanh", "tanh_grad"]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    return (x > 0).astype(np.float64)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def tanh_grad(x: np.ndarray) -> np.ndarray:
+    return 1.0 - np.tanh(x) ** 2
+
+
+_ACTIVATIONS = {
+    "relu": (relu, relu_grad),
+    "tanh": (tanh, tanh_grad),
+    "linear": (lambda x: x, lambda x: np.ones_like(x)),
+}
+
+
+class SAGELayer:
+    """One GraphSAGE convolution with mean aggregation.
+
+    Parameters are Glorot-initialized.  ``forward`` caches activations for
+    the subsequent ``backward`` call; layers are therefore not re-entrant
+    across interleaved graphs (the model processes one graph at a time).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: str = "relu",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(6.0 / (in_dim + out_dim))
+        self.w_self = rng.uniform(-scale, scale, size=(in_dim, out_dim))
+        self.w_neigh = rng.uniform(-scale, scale, size=(in_dim, out_dim))
+        self.bias = np.zeros(out_dim)
+        self.activation = activation
+        self._act, self._act_grad = _ACTIVATIONS[activation]
+        # caches
+        self._h_in: np.ndarray | None = None
+        self._agg: np.ndarray | None = None
+        self._pre: np.ndarray | None = None
+        self._adj: np.ndarray | None = None
+        # gradients
+        self.grad_w_self = np.zeros_like(self.w_self)
+        self.grad_w_neigh = np.zeros_like(self.w_neigh)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [self.w_self, self.w_neigh, self.bias]
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_w_self, self.grad_w_neigh, self.grad_bias]
+
+    def zero_grad(self) -> None:
+        self.grad_w_self[:] = 0.0
+        self.grad_w_neigh[:] = 0.0
+        self.grad_bias[:] = 0.0
+
+    def forward(self, h: np.ndarray, adj_mean: np.ndarray) -> np.ndarray:
+        """Propagate node features ``h`` through the layer."""
+        self._h_in = h
+        self._adj = adj_mean
+        self._agg = adj_mean @ h
+        self._pre = h @ self.w_self + self._agg @ self.w_neigh + self.bias
+        return self._act(self._pre)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return gradient w.r.t. the input."""
+        if self._pre is None:
+            raise RuntimeError("backward called before forward")
+        grad_pre = grad_out * self._act_grad(self._pre)
+        self.grad_w_self += self._h_in.T @ grad_pre
+        self.grad_w_neigh += self._agg.T @ grad_pre
+        self.grad_bias += grad_pre.sum(axis=0)
+        grad_h = grad_pre @ self.w_self.T
+        grad_agg = grad_pre @ self.w_neigh.T
+        grad_h += self._adj.T @ grad_agg
+        return grad_h

@@ -1,0 +1,108 @@
+"""GraphSAGE encoder producing graph-level embeddings.
+
+The hierarchical usage in CircuitMentor (paper §IV-A) treats each module as
+a subgraph: module embeddings come from :meth:`GraphSAGE.embed_graph`, and
+the design-level embedding is the mean of its module embeddings
+(z_global = 1/N * sum h_i), which also covers the flattened/single-module
+degenerate case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import GraphData, mean_adjacency
+from .layers import SAGELayer
+
+__all__ = ["GraphSAGE"]
+
+
+class GraphSAGE:
+    """A stack of :class:`SAGELayer` with mean global pooling.
+
+    Args:
+        in_dim: node feature dimensionality.
+        hidden_dims: output width of each successive layer; the final entry
+            is the embedding dimension.
+        activation: nonlinearity for all but the last layer (the last layer
+            is linear so embeddings are unbounded before normalization).
+        seed: RNG seed for weight init.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dims: tuple[int, ...] = (32, 32),
+        activation: str = "relu",
+        seed: int = 0,
+    ) -> None:
+        if not hidden_dims:
+            raise ValueError("need at least one layer")
+        rng = np.random.default_rng(seed)
+        dims = [in_dim, *hidden_dims]
+        self.layers = [
+            SAGELayer(
+                dims[i],
+                dims[i + 1],
+                activation=activation if i < len(hidden_dims) - 1 else "linear",
+                rng=rng,
+            )
+            for i in range(len(hidden_dims))
+        ]
+        self._num_nodes: int | None = None
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.layers[-1].w_self.shape[1]
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters]
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients]
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    # -- forward/backward --------------------------------------------------------
+
+    def forward_nodes(self, graph: GraphData) -> np.ndarray:
+        """Node-level embeddings for one graph."""
+        adj = mean_adjacency(graph.num_nodes, graph.edges)
+        h = np.asarray(graph.features, dtype=np.float64)
+        for layer in self.layers:
+            h = layer.forward(h, adj)
+        self._num_nodes = graph.num_nodes
+        return h
+
+    def embed_graph(self, graph: GraphData) -> np.ndarray:
+        """Graph-level embedding: mean-pool the node embeddings."""
+        return self.forward_nodes(graph).mean(axis=0)
+
+    def backward_graph(self, grad_embedding: np.ndarray) -> None:
+        """Backprop a gradient w.r.t. the pooled graph embedding.
+
+        Must follow the ``embed_graph`` call for the same graph (layer
+        caches hold that graph's activations).
+        """
+        if self._num_nodes is None:
+            raise RuntimeError("backward_graph called before embed_graph")
+        grad_nodes = np.tile(grad_embedding / self._num_nodes, (self._num_nodes, 1))
+        for layer in reversed(self.layers):
+            grad_nodes = layer.backward(grad_nodes)
+
+    # -- convenience ----------------------------------------------------------------
+
+    def embed_graphs(self, graphs: list[GraphData]) -> np.ndarray:
+        """Stack graph embeddings, shape (len(graphs), embedding_dim)."""
+        return np.vstack([self.embed_graph(g) for g in graphs])
+
+    def state_dict(self) -> list[np.ndarray]:
+        return [p.copy() for p in self.parameters]
+
+    def load_state_dict(self, state: list[np.ndarray]) -> None:
+        for param, saved in zip(self.parameters, state):
+            param[:] = saved

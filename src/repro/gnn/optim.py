@@ -1,0 +1,68 @@
+"""Optimizers for the numpy GNN framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Vanilla SGD with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        gradients: list[np.ndarray],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.parameters = parameters
+        self.gradients = gradients
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in parameters]
+
+    def step(self) -> None:
+        for param, grad, vel in zip(self.parameters, self.gradients, self._velocity):
+            vel *= self.momentum
+            vel -= self.lr * grad
+            param += vel
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) over in-place parameter arrays."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        gradients: list[np.ndarray],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.parameters = parameters
+        self.gradients = gradients
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, grad, m, v in zip(self.parameters, self.gradients, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,22 @@
+"""In-memory property graph database with a Cypher-subset query engine.
+
+This is the repository's Neo4j substitute (paper [28], [29]): CircuitMentor
+stores the circuit hierarchy here and SynthRAG's graph-structure retrieval
+runs LLM-generated Cypher queries against it.
+"""
+
+from .cypher_exec import CypherExecutionError, execute
+from .cypher_parser import CypherError, Query, parse_cypher
+from .store import GraphStore, GraphStoreError, NodeRecord, RelRecord
+
+__all__ = [
+    "CypherExecutionError",
+    "execute",
+    "CypherError",
+    "Query",
+    "parse_cypher",
+    "GraphStore",
+    "GraphStoreError",
+    "NodeRecord",
+    "RelRecord",
+]

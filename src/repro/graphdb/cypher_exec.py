@@ -1,0 +1,294 @@
+"""Executor for the Cypher subset over a :class:`~repro.graphdb.store.GraphStore`.
+
+Pattern matching is a straightforward backtracking search over candidate
+node bindings, with breadth-bounded expansion for variable-length
+relationships.  Result rows are dictionaries keyed by the RETURN item
+names; node/relationship values are returned as their record objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .cypher_parser import (
+    BoolExpr,
+    Comparison,
+    CypherError,
+    FuncCall,
+    Literal,
+    NodePattern,
+    PathPattern,
+    PropertyRef,
+    Query,
+    RelPattern,
+    ReturnItem,
+    VariableRef,
+    parse_cypher,
+)
+from .store import GraphStore, NodeRecord, RelRecord
+
+__all__ = ["execute", "CypherExecutionError"]
+
+
+class CypherExecutionError(ValueError):
+    """Raised on semantically invalid queries (unknown variables etc.)."""
+
+
+def execute(store: GraphStore, query: str | Query) -> list[dict[str, Any]]:
+    """Run a Cypher query against ``store`` and return result rows.
+
+    MATCH queries return one dict per match; CREATE queries mutate the
+    store and return a single row mapping created variables to records.
+    """
+    if isinstance(query, str):
+        query = parse_cypher(query)
+    if query.kind == "create":
+        return [_execute_create(store, query)]
+    return _execute_match(store, query)
+
+
+# -- CREATE ---------------------------------------------------------------------
+
+
+def _execute_create(store: GraphStore, query: Query) -> dict[str, Any]:
+    bindings: dict[str, Any] = {}
+    for path in query.patterns:
+        previous: NodeRecord | None = None
+        for i, node_pat in enumerate(path.nodes):
+            if node_pat.variable and node_pat.variable in bindings:
+                node = bindings[node_pat.variable]
+            else:
+                node = store.create_node(node_pat.labels, **node_pat.properties)
+                if node_pat.variable:
+                    bindings[node_pat.variable] = node
+            if i > 0:
+                rel_pat = path.rels[i - 1]
+                rel_type = rel_pat.rel_type or "RELATED"
+                if rel_pat.direction == "in":
+                    rel = store.create_rel(
+                        node.node_id, rel_type, previous.node_id, **rel_pat.properties
+                    )
+                else:
+                    rel = store.create_rel(
+                        previous.node_id, rel_type, node.node_id, **rel_pat.properties
+                    )
+                if rel_pat.variable:
+                    bindings[rel_pat.variable] = rel
+            previous = node
+    return bindings
+
+
+# -- MATCH ----------------------------------------------------------------------
+
+
+def _node_matches(node: NodeRecord, pattern: NodePattern) -> bool:
+    if any(label not in node.labels for label in pattern.labels):
+        return False
+    return all(node.properties.get(k) == v for k, v in pattern.properties.items())
+
+
+def _candidate_nodes(store: GraphStore, pattern: NodePattern) -> Iterator[NodeRecord]:
+    label = pattern.labels[0] if pattern.labels else None
+    for node in store.nodes(label):
+        if _node_matches(node, pattern):
+            yield node
+
+
+def _expand(
+    store: GraphStore,
+    start: NodeRecord,
+    rel_pat: RelPattern,
+) -> Iterator[tuple[list[RelRecord], NodeRecord]]:
+    """Yield (rel chain, end node) pairs reachable through ``rel_pat``."""
+
+    def single_hops(node_id: int) -> list[tuple[RelRecord, int]]:
+        hops: list[tuple[RelRecord, int]] = []
+        if rel_pat.direction in ("out", "both"):
+            hops.extend(
+                (rel, rel.end) for rel in store.out_rels(node_id, rel_pat.rel_type)
+            )
+        if rel_pat.direction in ("in", "both"):
+            hops.extend(
+                (rel, rel.start) for rel in store.in_rels(node_id, rel_pat.rel_type)
+            )
+        return [
+            (rel, other)
+            for rel, other in hops
+            if all(rel.properties.get(k) == v for k, v in rel_pat.properties.items())
+        ]
+
+    frontier: list[tuple[list[RelRecord], int]] = [([], start.node_id)]
+    for depth in range(1, rel_pat.max_hops + 1):
+        next_frontier: list[tuple[list[RelRecord], int]] = []
+        for chain, node_id in frontier:
+            for rel, other in single_hops(node_id):
+                if rel in chain:
+                    continue  # no relationship reuse within one path
+                new_chain = chain + [rel]
+                if depth >= rel_pat.min_hops:
+                    yield new_chain, store.node(other)
+                next_frontier.append((new_chain, other))
+        frontier = next_frontier
+        if not frontier:
+            return
+
+
+def _match_path(
+    store: GraphStore,
+    path: PathPattern,
+    bindings: dict[str, Any],
+) -> Iterator[dict[str, Any]]:
+    def bind_node(pattern: NodePattern, node: NodeRecord, env: dict) -> dict | None:
+        if pattern.variable:
+            bound = env.get(pattern.variable)
+            if bound is not None:
+                return env if bound.node_id == node.node_id else None
+            env = dict(env)
+            env[pattern.variable] = node
+            return env
+        return env
+
+    def recurse(index: int, current: NodeRecord, env: dict) -> Iterator[dict]:
+        if index == len(path.rels):
+            yield env
+            return
+        rel_pat = path.rels[index]
+        next_pat = path.nodes[index + 1]
+        for chain, end_node in _expand(store, current, rel_pat):
+            if not _node_matches(end_node, next_pat):
+                continue
+            env2 = bind_node(next_pat, end_node, env)
+            if env2 is None:
+                continue
+            if rel_pat.variable:
+                env2 = dict(env2)
+                env2[rel_pat.variable] = chain if rel_pat.max_hops > 1 else chain[0]
+            yield from recurse(index + 1, end_node, env2)
+
+    first_pat = path.nodes[0]
+    if first_pat.variable and first_pat.variable in bindings:
+        start_nodes = [bindings[first_pat.variable]]
+        if not _node_matches(start_nodes[0], first_pat):
+            return
+    else:
+        start_nodes = list(_candidate_nodes(store, first_pat))
+    for start in start_nodes:
+        env = bind_node(first_pat, start, bindings)
+        if env is None:
+            continue
+        yield from recurse(0, start, env)
+
+
+def _match_all_patterns(
+    store: GraphStore, patterns: list[PathPattern]
+) -> Iterator[dict[str, Any]]:
+    def recurse(index: int, env: dict) -> Iterator[dict]:
+        if index == len(patterns):
+            yield env
+            return
+        for env2 in _match_path(store, patterns[index], env):
+            yield from recurse(index + 1, env2)
+
+    yield from recurse(0, {})
+
+
+def _eval_operand(operand: Any, env: dict[str, Any]) -> Any:
+    if isinstance(operand, Literal):
+        return operand.value
+    if isinstance(operand, VariableRef):
+        if operand.name not in env:
+            raise CypherExecutionError(f"unbound variable {operand.name!r}")
+        return env[operand.name]
+    if isinstance(operand, PropertyRef):
+        if operand.variable not in env:
+            raise CypherExecutionError(f"unbound variable {operand.variable!r}")
+        record = env[operand.variable]
+        return record.properties.get(operand.key)
+    raise CypherExecutionError(f"cannot evaluate {operand!r}")
+
+
+def _eval_where(expr: Any, env: dict[str, Any]) -> bool:
+    if isinstance(expr, BoolExpr):
+        if expr.op == "AND":
+            return all(_eval_where(e, env) for e in expr.operands)
+        if expr.op == "OR":
+            return any(_eval_where(e, env) for e in expr.operands)
+        return not _eval_where(expr.operands[0], env)
+    if isinstance(expr, Comparison):
+        left = _eval_operand(expr.left, env)
+        right = _eval_operand(expr.right, env)
+        try:
+            if expr.op == "=":
+                return left == right
+            if expr.op == "<>":
+                return left != right
+            if left is None or right is None:
+                return False
+            if expr.op == "<":
+                return left < right
+            if expr.op == ">":
+                return left > right
+            if expr.op == "<=":
+                return left <= right
+            if expr.op == ">=":
+                return left >= right
+            if expr.op == "CONTAINS":
+                return str(right) in str(left)
+            if expr.op == "STARTS_WITH":
+                return str(left).startswith(str(right))
+            if expr.op == "IN":
+                return left in right
+        except TypeError:
+            return False
+    raise CypherExecutionError(f"cannot evaluate predicate {expr!r}")
+
+
+def _execute_match(store: GraphStore, query: Query) -> list[dict[str, Any]]:
+    rows: list[dict[str, Any]] = []
+    envs = [
+        env
+        for env in _match_all_patterns(store, query.patterns)
+        if query.where is None or _eval_where(query.where, env)
+    ]
+    # Aggregation: any count() in RETURN collapses to a single row.
+    has_count = any(
+        isinstance(item.expr, FuncCall) and item.expr.name == "count"
+        for item in query.returns
+    )
+    if has_count:
+        row: dict[str, Any] = {}
+        for item in query.returns:
+            if isinstance(item.expr, FuncCall):
+                row[item.name] = len(envs)
+            else:
+                row[item.name] = _eval_operand(item.expr, envs[0]) if envs else None
+        return [row]
+    for env in envs:
+        row = {item.name: _eval_operand(item.expr, env) for item in query.returns}
+        rows.append(row)
+    if query.distinct:
+        seen = set()
+        unique = []
+        for row in rows:
+            key = tuple(sorted((k, repr(v)) for k, v in row.items()))
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        rows = unique
+    for expr, desc in reversed(query.order_by):
+        rows.sort(key=lambda r, e=expr: _order_key(e, r), reverse=desc)
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+def _order_key(expr: Any, row: dict[str, Any]) -> Any:
+    if isinstance(expr, VariableRef) and expr.name in row:
+        return row[expr.name]
+    if isinstance(expr, PropertyRef):
+        key = f"{expr.variable}.{expr.key}"
+        if key in row:
+            return row[key]
+        if expr.variable in row and hasattr(row[expr.variable], "properties"):
+            return row[expr.variable].properties.get(expr.key)
+    raise CypherExecutionError(f"ORDER BY expression not in RETURN: {expr!r}")

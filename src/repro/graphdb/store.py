@@ -1,0 +1,179 @@
+"""In-memory property-graph store (the Neo4j substitute).
+
+The store follows the labelled-property-graph model: nodes carry a set of
+labels and a property map; directed relationships carry a type and a
+property map.  :mod:`repro.graphdb.cypher_exec` evaluates Cypher-subset
+queries against this store; CircuitMentor and SynthRAG use it to hold the
+circuit hierarchy and the target library (paper §IV-A/§IV-B, Table I).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+__all__ = ["NodeRecord", "RelRecord", "GraphStore", "GraphStoreError"]
+
+
+class GraphStoreError(KeyError):
+    """Raised on access to missing nodes/relationships."""
+
+
+@dataclass
+class NodeRecord:
+    """A graph node: integer id, label set, property map."""
+
+    node_id: int
+    labels: frozenset[str]
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def has_label(self, label: str) -> bool:
+        return label in self.labels
+
+
+@dataclass
+class RelRecord:
+    """A directed relationship between two node ids."""
+
+    rel_id: int
+    rel_type: str
+    start: int
+    end: int
+    properties: dict[str, Any] = field(default_factory=dict)
+
+
+class GraphStore:
+    """A mutable labelled-property graph with index-backed lookups."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, NodeRecord] = {}
+        self._rels: dict[int, RelRecord] = {}
+        self._by_label: dict[str, set[int]] = {}
+        self._out: dict[int, list[int]] = {}
+        self._in: dict[int, list[int]] = {}
+        self._node_ids = itertools.count()
+        self._rel_ids = itertools.count()
+
+    # -- nodes --------------------------------------------------------------
+
+    def create_node(self, labels: Iterable[str] = (), **properties: Any) -> NodeRecord:
+        node = NodeRecord(
+            node_id=next(self._node_ids),
+            labels=frozenset(labels),
+            properties=dict(properties),
+        )
+        self._nodes[node.node_id] = node
+        for label in node.labels:
+            self._by_label.setdefault(label, set()).add(node.node_id)
+        self._out[node.node_id] = []
+        self._in[node.node_id] = []
+        return node
+
+    def node(self, node_id: int) -> NodeRecord:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphStoreError(f"no node {node_id}") from None
+
+    def delete_node(self, node_id: int) -> None:
+        """Delete a node and every relationship attached to it."""
+        node = self.node(node_id)
+        for rel_id in list(self._out[node_id]) + list(self._in[node_id]):
+            if rel_id in self._rels:
+                self.delete_rel(rel_id)
+        for label in node.labels:
+            self._by_label[label].discard(node_id)
+        del self._nodes[node_id]
+        del self._out[node_id]
+        del self._in[node_id]
+
+    def nodes(self, label: str | None = None, **props: Any) -> Iterator[NodeRecord]:
+        """Iterate nodes, optionally filtered by label and property equality."""
+        if label is not None:
+            candidates = (self._nodes[i] for i in self._by_label.get(label, ()))
+        else:
+            candidates = iter(self._nodes.values())
+        for node in candidates:
+            if all(node.properties.get(k) == v for k, v in props.items()):
+                yield node
+
+    def find_one(self, label: str | None = None, **props: Any) -> NodeRecord | None:
+        return next(self.nodes(label, **props), None)
+
+    # -- relationships --------------------------------------------------------
+
+    def create_rel(
+        self, start: int, rel_type: str, end: int, **properties: Any
+    ) -> RelRecord:
+        self.node(start)
+        self.node(end)
+        rel = RelRecord(
+            rel_id=next(self._rel_ids),
+            rel_type=rel_type,
+            start=start,
+            end=end,
+            properties=dict(properties),
+        )
+        self._rels[rel.rel_id] = rel
+        self._out[start].append(rel.rel_id)
+        self._in[end].append(rel.rel_id)
+        return rel
+
+    def rel(self, rel_id: int) -> RelRecord:
+        try:
+            return self._rels[rel_id]
+        except KeyError:
+            raise GraphStoreError(f"no relationship {rel_id}") from None
+
+    def delete_rel(self, rel_id: int) -> None:
+        rel = self.rel(rel_id)
+        self._out[rel.start].remove(rel_id)
+        self._in[rel.end].remove(rel_id)
+        del self._rels[rel_id]
+
+    def rels(self, rel_type: str | None = None) -> Iterator[RelRecord]:
+        for rel in self._rels.values():
+            if rel_type is None or rel.rel_type == rel_type:
+                yield rel
+
+    def out_rels(self, node_id: int, rel_type: str | None = None) -> list[RelRecord]:
+        return [
+            self._rels[r]
+            for r in self._out.get(node_id, ())
+            if rel_type is None or self._rels[r].rel_type == rel_type
+        ]
+
+    def in_rels(self, node_id: int, rel_type: str | None = None) -> list[RelRecord]:
+        return [
+            self._rels[r]
+            for r in self._in.get(node_id, ())
+            if rel_type is None or self._rels[r].rel_type == rel_type
+        ]
+
+    def neighbors(
+        self, node_id: int, rel_type: str | None = None, direction: str = "out"
+    ) -> list[NodeRecord]:
+        """Adjacent nodes along ``direction`` ('out', 'in' or 'both')."""
+        result = []
+        if direction in ("out", "both"):
+            result.extend(self._nodes[r.end] for r in self.out_rels(node_id, rel_type))
+        if direction in ("in", "both"):
+            result.extend(self._nodes[r.start] for r in self.in_rels(node_id, rel_type))
+        return result
+
+    # -- stats ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_rels(self) -> int:
+        return len(self._rels)
+
+    def labels(self) -> set[str]:
+        return {label for label, ids in self._by_label.items() if ids}
+
+    def clear(self) -> None:
+        self.__init__()

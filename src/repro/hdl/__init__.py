@@ -1,0 +1,26 @@
+"""Verilog-2001 subset front end: lexer, parser, AST, elaborator, netlist."""
+
+from .ast_nodes import Module, SourceFile
+from .elaborator import ElaborationError, Elaborator, elaborate
+from .lexer import LexerError, Token, tokenize
+from .netlist import Cell, Net, Netlist, NetlistError
+from .parser import ParseError, parse_source
+from .writer import write_verilog
+
+__all__ = [
+    "write_verilog",
+    "Module",
+    "SourceFile",
+    "ElaborationError",
+    "Elaborator",
+    "elaborate",
+    "LexerError",
+    "Token",
+    "tokenize",
+    "Cell",
+    "Net",
+    "Netlist",
+    "NetlistError",
+    "ParseError",
+    "parse_source",
+]

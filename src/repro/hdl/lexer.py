@@ -1,0 +1,235 @@
+"""Tokenizer for the Verilog-2001 subset understood by :mod:`repro.hdl`.
+
+The lexer is a small hand-rolled scanner producing a flat list of
+:class:`Token` objects.  It handles line/block comments, sized and unsized
+numeric literals, identifiers (including escaped identifiers), operators of
+up to three characters and string literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "LexerError", "tokenize", "KEYWORDS"]
+
+
+KEYWORDS = frozenset(
+    {
+        "module",
+        "endmodule",
+        "input",
+        "output",
+        "inout",
+        "wire",
+        "reg",
+        "assign",
+        "always",
+        "posedge",
+        "negedge",
+        "begin",
+        "end",
+        "if",
+        "else",
+        "case",
+        "casez",
+        "casex",
+        "endcase",
+        "default",
+        "parameter",
+        "localparam",
+        "integer",
+        "genvar",
+        "generate",
+        "endgenerate",
+        "for",
+        "function",
+        "endfunction",
+        "signed",
+        "or",
+    }
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<<",
+    ">>>",
+    "===",
+    "!==",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "~&",
+    "~|",
+    "~^",
+    "^~",
+    "**",
+    "+:",
+    "-:",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "@",
+    "#",
+]
+
+
+class LexerError(ValueError):
+    """Raised when the scanner meets a character it cannot tokenize."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: one of ``KEYWORD``, ``ID``, ``NUMBER``, ``STRING``, ``OP``
+            or ``EOF``.
+        value: the literal text of the token.
+        line: 1-based source line the token starts on.
+        col: 1-based source column the token starts on.
+    """
+
+    kind: str
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch in "_$"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_$"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan ``text`` into a token list terminated by an ``EOF`` token.
+
+    Raises:
+        LexerError: on unterminated comments/strings or stray characters.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            advance((end - i) if end != -1 else (n - i))
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise LexerError(f"unterminated block comment at line {line}")
+            advance(end + 2 - i)
+            continue
+        if ch == "`":
+            # Compiler directives (`timescale, `define, ...) — skip the line.
+            end = text.find("\n", i)
+            advance((end - i) if end != -1 else (n - i))
+            continue
+        start_line, start_col = line, col
+        if ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise LexerError(f"unterminated string at line {line}")
+            value = text[i : j + 1]
+            advance(j + 1 - i)
+            tokens.append(Token("STRING", value, start_line, start_col))
+            continue
+        if ch == "\\":
+            # Escaped identifier: backslash up to whitespace.
+            j = i + 1
+            while j < n and not text[j].isspace():
+                j += 1
+            tokens.append(Token("ID", text[i + 1 : j], start_line, start_col))
+            advance(j - i)
+            continue
+        if ch.isdigit() or (ch == "'" and i + 1 < n):
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "_"):
+                j += 1
+            if j < n and text[j] == "'":
+                j += 1
+                if j < n and text[j] in "sS":
+                    j += 1
+                if j < n and text[j] in "bBoOdDhH":
+                    j += 1
+                while j < n and (text[j].isalnum() or text[j] in "_?xXzZ"):
+                    j += 1
+            elif j < n and text[j] == ".":
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            value = text[i:j]
+            advance(j - i)
+            tokens.append(Token("NUMBER", value, start_line, start_col))
+            continue
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            value = text[i:j]
+            advance(j - i)
+            kind = "KEYWORD" if value in KEYWORDS else "ID"
+            tokens.append(Token(kind, value, start_line, start_col))
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                advance(len(op))
+                tokens.append(Token("OP", op, start_line, start_col))
+                break
+        else:
+            raise LexerError(f"unexpected character {ch!r} at line {line}:{col}")
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

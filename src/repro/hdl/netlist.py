@@ -1,0 +1,291 @@
+"""Gate-level netlist data structures.
+
+The elaborator lowers RTL to a netlist of *generic* gates; the synthesis
+engine (:mod:`repro.synth`) then technology-maps those onto library cells,
+optimizes, and times the result.  A :class:`Netlist` is a flat graph:
+
+* :class:`Net` — a single-bit wire with one driver pin and many sink pins.
+* :class:`Cell` — a gate instance with ordered input nets and one output
+  net (sequential cells also carry clock/reset nets in ``attrs``).
+
+Generic gate types are listed in :data:`GENERIC_GATES`.  After technology
+mapping, ``Cell.lib_cell`` names the bound library cell.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["GENERIC_GATES", "Net", "Cell", "Netlist", "NetlistError"]
+
+
+#: Generic gate types produced by elaboration.  ``inputs`` is the pin count.
+GENERIC_GATES = {
+    "CONST0": 0,
+    "CONST1": 0,
+    "BUF": 1,
+    "NOT": 1,
+    "AND2": 2,
+    "OR2": 2,
+    "NAND2": 2,
+    "NOR2": 2,
+    "XOR2": 2,
+    "XNOR2": 2,
+    "MUX2": 3,  # (sel, a, b) -> sel ? b : a
+    "AOI21": 3,  # ~((a & b) | c)
+    "OAI21": 3,  # ~((a | b) & c)
+    "DFF": 1,  # (d) -> q, clock in attrs["clock"]
+}
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid netlist operations."""
+
+
+@dataclass
+class Net:
+    """A single-bit net."""
+
+    name: str
+    uid: int
+    driver: str | None = None  # cell name, or None for primary inputs
+    sinks: set[str] = field(default_factory=set)  # cell names
+    is_input: bool = False
+    is_output: bool = False
+    is_clock: bool = False
+
+
+@dataclass
+class Cell:
+    """A gate instance."""
+
+    name: str
+    gate: str
+    inputs: list[str] = field(default_factory=list)  # net names
+    output: str = ""
+    lib_cell: str | None = None  # bound library cell after mapping
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.gate == "DFF"
+
+
+class Netlist:
+    """A flat gate-level netlist with named nets and cells."""
+
+    def __init__(self, name: str = "top") -> None:
+        self.name = name
+        self.nets: dict[str, Net] = {}
+        self.cells: dict[str, Cell] = {}
+        self.primary_inputs: list[str] = []
+        self.primary_outputs: list[str] = []
+        self._uid = itertools.count()
+
+    # -- construction --------------------------------------------------------
+
+    def add_net(self, name: str | None = None, **flags: bool) -> Net:
+        """Create a net; autogenerates a unique name when ``name`` is None."""
+        if name is None:
+            name = f"$n{next(self._uid)}"
+        elif name in self.nets:
+            raise NetlistError(f"duplicate net {name!r}")
+        net = Net(name=name, uid=next(self._uid))
+        for key, value in flags.items():
+            setattr(net, key, value)
+        self.nets[name] = net
+        if net.is_input:
+            self.primary_inputs.append(name)
+        if net.is_output:
+            self.primary_outputs.append(name)
+        return net
+
+    def get_or_add_net(self, name: str) -> Net:
+        if name in self.nets:
+            return self.nets[name]
+        return self.add_net(name)
+
+    def add_cell(
+        self,
+        gate: str,
+        inputs: list[str],
+        output: str,
+        name: str | None = None,
+        **attrs,
+    ) -> Cell:
+        """Create a gate driving ``output`` from ``inputs`` (net names)."""
+        if gate not in GENERIC_GATES:
+            raise NetlistError(f"unknown generic gate {gate!r}")
+        expected = GENERIC_GATES[gate]
+        if gate != "DFF" and len(inputs) != expected:
+            raise NetlistError(
+                f"{gate} expects {expected} inputs, got {len(inputs)}"
+            )
+        if name is None:
+            name = f"$g{next(self._uid)}"
+        if name in self.cells:
+            raise NetlistError(f"duplicate cell {name!r}")
+        out_net = self.get_or_add_net(output)
+        if out_net.driver is not None:
+            raise NetlistError(f"net {output!r} already driven by {out_net.driver!r}")
+        if out_net.is_input:
+            raise NetlistError(f"cannot drive primary input {output!r}")
+        cell = Cell(name=name, gate=gate, inputs=list(inputs), output=output, attrs=attrs)
+        out_net.driver = name
+        for net_name in inputs:
+            self.get_or_add_net(net_name).sinks.add(name)
+        if "clock" in attrs:
+            clk = self.get_or_add_net(attrs["clock"])
+            clk.is_clock = True
+            clk.sinks.add(name)
+        self.cells[name] = cell
+        return cell
+
+    def remove_cell(self, name: str) -> None:
+        cell = self.cells.pop(name)
+        out = self.nets[cell.output]
+        out.driver = None
+        for net_name in set(cell.inputs) | ({cell.attrs["clock"]} if "clock" in cell.attrs else set()):
+            self.nets[net_name].sinks.discard(name)
+
+    def rewire_input(self, cell_name: str, old_net: str, new_net: str) -> None:
+        """Replace every occurrence of ``old_net`` in a cell's input list."""
+        cell = self.cells[cell_name]
+        if old_net not in cell.inputs:
+            raise NetlistError(f"{old_net!r} is not an input of {cell_name!r}")
+        cell.inputs = [new_net if n == old_net else n for n in cell.inputs]
+        if old_net not in cell.inputs and cell.attrs.get("clock") != old_net:
+            self.nets[old_net].sinks.discard(cell_name)
+        self.get_or_add_net(new_net).sinks.add(cell_name)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def num_sequential(self) -> int:
+        return sum(1 for c in self.cells.values() if c.is_sequential)
+
+    @property
+    def num_combinational(self) -> int:
+        return self.num_cells - self.num_sequential
+
+    def fanout(self, net_name: str) -> int:
+        net = self.nets[net_name]
+        return len(net.sinks) + (1 if net.is_output else 0)
+
+    def driver_cell(self, net_name: str) -> Cell | None:
+        driver = self.nets[net_name].driver
+        return self.cells.get(driver) if driver else None
+
+    def topological_cells(self) -> list[Cell]:
+        """Combinational cells in topological order (DFF outputs as sources).
+
+        Raises:
+            NetlistError: if the combinational logic contains a cycle.
+        """
+        indegree: dict[str, int] = {}
+        dependents: dict[str, list[str]] = {}
+        for cell in self.cells.values():
+            if cell.is_sequential:
+                continue
+            deps = 0
+            for net_name in cell.inputs:
+                drv = self.nets[net_name].driver
+                if drv is not None and not self.cells[drv].is_sequential:
+                    deps += 1
+                    dependents.setdefault(drv, []).append(cell.name)
+            indegree[cell.name] = deps
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        order: list[Cell] = []
+        while ready:
+            name = ready.pop()
+            order.append(self.cells[name])
+            for dep in dependents.get(name, ()):
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(indegree):
+            raise NetlistError("combinational cycle detected")
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`NetlistError` if broken."""
+        for name, net in self.nets.items():
+            if net.driver is not None and net.driver not in self.cells:
+                raise NetlistError(f"net {name!r} driven by missing cell {net.driver!r}")
+            for sink in net.sinks:
+                if sink not in self.cells:
+                    raise NetlistError(f"net {name!r} sinks missing cell {sink!r}")
+                cell = self.cells[sink]
+                if name not in cell.inputs and cell.attrs.get("clock") != name:
+                    raise NetlistError(
+                        f"net {name!r} lists sink {sink!r} that does not read it"
+                    )
+        for name, cell in self.cells.items():
+            if self.nets[cell.output].driver != name:
+                raise NetlistError(f"cell {name!r} output net driver mismatch")
+            for net_name in cell.inputs:
+                if name not in self.nets[net_name].sinks:
+                    raise NetlistError(
+                        f"cell {name!r} input {net_name!r} missing sink backlink"
+                    )
+        self.topological_cells()  # raises on combinational cycles
+
+    def stats(self) -> dict:
+        """Summary statistics used by reports and CircuitMentor features."""
+        gate_counts: dict[str, int] = {}
+        for cell in self.cells.values():
+            gate_counts[cell.gate] = gate_counts.get(cell.gate, 0) + 1
+        max_fanout = max((self.fanout(n) for n in self.nets), default=0)
+        return {
+            "cells": self.num_cells,
+            "sequential": self.num_sequential,
+            "combinational": self.num_combinational,
+            "nets": len(self.nets),
+            "inputs": len(self.primary_inputs),
+            "outputs": len(self.primary_outputs),
+            "max_fanout": max_fanout,
+            "gate_counts": gate_counts,
+        }
+
+    def replace_with(self, other: "Netlist") -> None:
+        """Adopt ``other``'s contents in place (used to roll back passes)."""
+        self.name = other.name
+        self.nets = other.nets
+        self.cells = other.cells
+        self.primary_inputs = other.primary_inputs
+        self.primary_outputs = other.primary_outputs
+        self._uid = other._uid
+
+    def clone(self) -> "Netlist":
+        """Deep-copy the netlist (cells, nets, port lists)."""
+        other = Netlist(self.name)
+        for name, net in self.nets.items():
+            clone = Net(
+                name=net.name,
+                uid=net.uid,
+                driver=net.driver,
+                sinks=set(net.sinks),
+                is_input=net.is_input,
+                is_output=net.is_output,
+                is_clock=net.is_clock,
+            )
+            other.nets[name] = clone
+        for name, cell in self.cells.items():
+            other.cells[name] = Cell(
+                name=cell.name,
+                gate=cell.gate,
+                inputs=list(cell.inputs),
+                output=cell.output,
+                lib_cell=cell.lib_cell,
+                attrs=dict(cell.attrs),
+            )
+        other.primary_inputs = list(self.primary_inputs)
+        other.primary_outputs = list(self.primary_outputs)
+        max_uid = max((net.uid for net in self.nets.values()), default=-1)
+        other._uid = itertools.count(max_uid + 1)
+        return other

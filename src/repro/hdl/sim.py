@@ -1,0 +1,97 @@
+"""Cycle-level simulator for gate netlists.
+
+Used mainly by the test-suite to prove that elaboration (and later,
+synthesis transformations) preserve functionality: drive primary inputs,
+evaluate the combinational cone, and step registers on clock edges.
+"""
+
+from __future__ import annotations
+
+from .netlist import Netlist
+
+__all__ = ["Simulator", "evaluate_combinational"]
+
+
+_EVAL = {
+    "CONST0": lambda ins: 0,
+    "CONST1": lambda ins: 1,
+    "BUF": lambda ins: ins[0],
+    "NOT": lambda ins: 1 - ins[0],
+    "AND2": lambda ins: ins[0] & ins[1],
+    "OR2": lambda ins: ins[0] | ins[1],
+    "NAND2": lambda ins: 1 - (ins[0] & ins[1]),
+    "NOR2": lambda ins: 1 - (ins[0] | ins[1]),
+    "XOR2": lambda ins: ins[0] ^ ins[1],
+    "XNOR2": lambda ins: 1 - (ins[0] ^ ins[1]),
+    "MUX2": lambda ins: ins[2] if ins[0] else ins[1],
+    "AOI21": lambda ins: 1 - ((ins[0] & ins[1]) | ins[2]),
+    "OAI21": lambda ins: 1 - ((ins[0] | ins[1]) & ins[2]),
+}
+
+
+class Simulator:
+    """Two-phase (combinational settle / clock step) netlist simulator."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.values: dict[str, int] = {name: 0 for name in netlist.nets}
+        self._topo = netlist.topological_cells()
+
+    def set_input(self, net_name: str, value: int) -> None:
+        """Drive a primary input bit."""
+        if not self.netlist.nets[net_name].is_input:
+            raise ValueError(f"{net_name!r} is not a primary input")
+        self.values[net_name] = value & 1
+
+    def set_word(self, base: str, value: int, width: int) -> None:
+        """Drive a bit-blasted vector ``base[0..width-1]`` (or scalar)."""
+        if width == 1 and base in self.netlist.nets:
+            self.set_input(base, value)
+            return
+        for i in range(width):
+            self.set_input(f"{base}[{i}]", (value >> i) & 1)
+
+    def get_word(self, base: str, width: int) -> int:
+        """Read a bit-blasted vector back as an integer."""
+        if width == 1 and base in self.values:
+            return self.values[base]
+        result = 0
+        for i in range(width):
+            result |= self.values[f"{base}[{i}]"] << i
+        return result
+
+    def settle(self) -> None:
+        """Propagate values through the combinational cone."""
+        for cell in self._topo:
+            ins = [self.values[n] for n in cell.inputs]
+            self.values[cell.output] = _EVAL[cell.gate](ins)
+
+    def step(self) -> None:
+        """One clock cycle: settle, then latch every DFF simultaneously."""
+        self.settle()
+        next_state = {
+            cell.output: self.values[cell.inputs[0]]
+            for cell in self.netlist.cells.values()
+            if cell.is_sequential
+        }
+        self.values.update(next_state)
+        self.settle()
+
+
+def evaluate_combinational(
+    netlist: Netlist, inputs: dict[str, int]
+) -> dict[str, int]:
+    """Evaluate a purely combinational netlist once.
+
+    Args:
+        netlist: the circuit (DFF outputs are treated as zero).
+        inputs: mapping of primary-input net name to bit value.
+
+    Returns:
+        Mapping of primary-output net name to value.
+    """
+    sim = Simulator(netlist)
+    for name, value in inputs.items():
+        sim.set_input(name, value)
+    sim.settle()
+    return {name: sim.values[name] for name in netlist.primary_outputs}

@@ -1,0 +1,32 @@
+"""Simulated LLM layer: prompt schema, deterministic models, baselines.
+
+Substitutes GPT-4o / Claude 3.5 (paper §V) with seeded policies behind the
+same prompt-in/text-out interface, reproducing the information asymmetry
+between raw prompting and the grounded ChatLS pipeline.
+"""
+
+from .base import Completion, LLMClient
+from .baselines import MODEL_BUILDERS, chatls_core, claude35, gpt4o
+from .prompts import build_prompt, extract_script, parse_sections
+from .simulated import (
+    HALLUCINATION_GALLERY,
+    VALID_COMMANDS,
+    ModelProfile,
+    SimulatedLLM,
+)
+
+__all__ = [
+    "Completion",
+    "LLMClient",
+    "MODEL_BUILDERS",
+    "chatls_core",
+    "claude35",
+    "gpt4o",
+    "build_prompt",
+    "extract_script",
+    "parse_sections",
+    "HALLUCINATION_GALLERY",
+    "VALID_COMMANDS",
+    "ModelProfile",
+    "SimulatedLLM",
+]

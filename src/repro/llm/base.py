@@ -1,0 +1,34 @@
+"""LLM client interface and response containers.
+
+Every generator in this repository — the ChatLS pipeline and the GPT-4o /
+Claude-3.5 baselines — speaks the same contract: a prompt string goes in,
+completion text comes out.  The simulated models are deterministic given
+``(prompt, seed)``; Pass@k sampling varies the seed (paper Table III is
+Pass@5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+__all__ = ["LLMClient", "Completion"]
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One model completion."""
+
+    text: str
+    model: str
+    seed: int
+
+
+class LLMClient(Protocol):
+    """Prompt-in / text-out language model interface."""
+
+    name: str
+
+    def complete(self, prompt: str, seed: int = 0) -> Completion:
+        """Generate a completion for ``prompt``; deterministic per seed."""
+        ...

@@ -1,0 +1,75 @@
+"""Model-profile presets: the Table III contenders.
+
+The two commercial baselines and the ChatLS core generator share the
+:class:`~repro.llm.simulated.SimulatedLLM` machinery; they differ only in
+their capability profiles.  The baseline profiles encode what the paper's
+evaluation showed:
+
+* **GPT-4o** — competent, area-leaning (it wins some area columns in
+  Table III), misses fanout/retiming opportunities without analysis,
+  hallucinates occasionally.
+* **Claude 3.5 Sonnet** — similar; slightly larger effective window but a
+  higher rate of invalid options, and an area-insensitive style (its
+  Table III areas are usually the largest).
+* **ChatLS core** — the same class of model, but in the ChatLS pipeline it
+  receives CircuitMentor analysis + SynthRAG retrievals, and SynthExpert
+  repairs hallucinations against the manual.
+"""
+
+from __future__ import annotations
+
+from .simulated import ModelProfile, SimulatedLLM
+
+__all__ = ["gpt4o", "claude35", "chatls_core", "MODEL_BUILDERS"]
+
+
+def gpt4o() -> SimulatedLLM:
+    """The simulated GPT-4o (2024-08-06) baseline."""
+    return SimulatedLLM(
+        ModelProfile(
+            name="gpt-4o-sim",
+            context_window=3500,
+            hallucination_rate=0.22,
+            prefers_area=True,
+            extra_command_rate=0.35,
+            knows_retiming_heuristic=False,
+            knows_fanout_heuristic=False,
+        )
+    )
+
+
+def claude35() -> SimulatedLLM:
+    """The simulated Claude 3.5 Sonnet (2024-10-22) baseline."""
+    return SimulatedLLM(
+        ModelProfile(
+            name="claude-3.5-sonnet-sim",
+            context_window=5000,
+            hallucination_rate=0.28,
+            prefers_area=False,
+            extra_command_rate=0.45,
+            knows_retiming_heuristic=False,
+            knows_fanout_heuristic=True,
+        )
+    )
+
+
+def chatls_core() -> SimulatedLLM:
+    """The generator inside ChatLS (grounded by RAG + analysis sections)."""
+    return SimulatedLLM(
+        ModelProfile(
+            name="chatls-core",
+            context_window=8000,
+            hallucination_rate=0.18,
+            prefers_area=False,
+            extra_command_rate=0.3,
+            knows_retiming_heuristic=True,
+            knows_fanout_heuristic=True,
+        )
+    )
+
+
+MODEL_BUILDERS = {
+    "gpt-4o": gpt4o,
+    "claude-3.5": claude35,
+    "chatls-core": chatls_core,
+}

@@ -1,0 +1,85 @@
+"""Prompt construction and parsing for synthesis-script customization.
+
+Prompts are plain text with ``## SECTION`` headers; simulated models parse
+the sections back out.  This keeps the architecture faithful to the paper
+(everything the model knows arrives through the prompt) while staying
+deterministic and offline.
+
+Sections:
+
+* ``USER REQUIREMENT`` — the natural-language goal.
+* ``BASELINE SCRIPT`` — the script being customized (Table III setup).
+* ``TOOL REPORT`` — the synthesis tool's QoR/timing report text.
+* ``DESIGN RTL`` — raw Verilog (truncated to the model's window; baselines
+  only get this).
+* ``CIRCUIT ANALYSIS`` — CircuitMentor's summary (ChatLS only).
+* ``RETRIEVED STRATEGIES`` — SynthRAG strategy hits (ChatLS only).
+* ``MANUAL EXCERPTS`` — retrieved command documentation (ChatLS only).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "build_prompt",
+    "parse_sections",
+    "extract_script",
+    "SECTION_ORDER",
+]
+
+SECTION_ORDER = (
+    "USER REQUIREMENT",
+    "BASELINE SCRIPT",
+    "TOOL REPORT",
+    "CIRCUIT ANALYSIS",
+    "RETRIEVED STRATEGIES",
+    "MANUAL EXCERPTS",
+    "DESIGN RTL",
+)
+
+
+def build_prompt(sections: dict[str, str]) -> str:
+    """Assemble a prompt from named sections (known sections first)."""
+    parts = [
+        "You are a logic synthesis expert. Customize the synthesis script "
+        "to satisfy the user requirement. Reply with the full script in a "
+        "```tcl fenced block. Do not change the clock period."
+    ]
+    ordered = [s for s in SECTION_ORDER if s in sections]
+    ordered += [s for s in sections if s not in SECTION_ORDER]
+    for name in ordered:
+        parts.append(f"## {name}\n{sections[name].rstrip()}")
+    return "\n\n".join(parts)
+
+
+_SECTION_RE = re.compile(r"^## ([A-Z ]+)$", re.MULTILINE)
+
+
+def parse_sections(prompt: str) -> dict[str, str]:
+    """Recover the named sections from a prompt built by :func:`build_prompt`."""
+    sections: dict[str, str] = {}
+    matches = list(_SECTION_RE.finditer(prompt))
+    for i, match in enumerate(matches):
+        start = match.end()
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(prompt)
+        sections[match.group(1).strip()] = prompt[start:end].strip()
+    return sections
+
+
+_FENCE_RE = re.compile(r"```(?:tcl)?\s*\n(.*?)```", re.DOTALL)
+
+
+def extract_script(completion_text: str) -> str | None:
+    """Pull the Tcl script out of a model completion (fenced block)."""
+    match = _FENCE_RE.search(completion_text)
+    if match:
+        return match.group(1).strip()
+    # Fall back: treat lines that look like commands as the script.
+    lines = [
+        line
+        for line in completion_text.splitlines()
+        if line.strip() and not line.lstrip().startswith(("#", "//"))
+        and re.match(r"^[a-z_]+(\s|$)", line.strip())
+    ]
+    return "\n".join(lines) if lines else None

@@ -1,0 +1,35 @@
+"""CircuitMentor: graph-based circuit analysis for LLM script customization.
+
+Implements paper §IV-A: AST -> hierarchical property graph (+ per-module
+dataflow graphs), hierarchical GraphSAGE embeddings with global mean
+pooling, metric learning for design-similarity retrieval, and the
+pathology analyzer that grounds the script-customization decisions.
+"""
+
+from .analyzer import DesignAnalysis, analyze_design
+from .circuit_graph import CircuitGraph, build_circuit_graph
+from .embeddings import CircuitEncoder
+from .features import classify_module, count_ops, module_profile
+from .metric_learning import (
+    MetricTrainer,
+    clustering_quality,
+    contrastive_loss,
+    multi_similarity_loss,
+    n_pair_loss,
+)
+
+__all__ = [
+    "DesignAnalysis",
+    "analyze_design",
+    "CircuitGraph",
+    "build_circuit_graph",
+    "CircuitEncoder",
+    "classify_module",
+    "count_ops",
+    "module_profile",
+    "MetricTrainer",
+    "clustering_quality",
+    "contrastive_loss",
+    "multi_similarity_loss",
+    "n_pair_loss",
+]

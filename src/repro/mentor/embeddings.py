@@ -1,0 +1,63 @@
+"""Hierarchical GNN embedding pipeline (paper §IV-A, Eq. 3).
+
+Modules are embedded individually by GraphSAGE over their dataflow
+graphs; the design embedding is the mean over module embeddings
+(z_global = 1/N sum h_i), which degenerates gracefully to the single
+module's embedding for flattened designs — exactly the paper's fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gnn import GraphSAGE
+from .circuit_graph import CircuitGraph
+from .features import FEATURE_DIM
+
+__all__ = ["CircuitEncoder"]
+
+
+class CircuitEncoder:
+    """Wraps a GraphSAGE model with circuit-level conveniences."""
+
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        hidden_dim: int = 48,
+        seed: int = 0,
+    ) -> None:
+        self.model = GraphSAGE(
+            in_dim=FEATURE_DIM,
+            hidden_dims=(hidden_dim, embedding_dim),
+            seed=seed,
+        )
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.model.embedding_dim
+
+    def embed_module(self, circuit: CircuitGraph, module_name: str) -> np.ndarray:
+        """L2-normalized embedding of one module's dataflow graph."""
+        graph = circuit.module_graphs[module_name]
+        return _normalize(self.model.embed_graph(graph))
+
+    def embed_modules(self, circuit: CircuitGraph) -> dict[str, np.ndarray]:
+        return {
+            name: self.embed_module(circuit, name) for name in circuit.module_graphs
+        }
+
+    def embed_design(self, circuit: CircuitGraph) -> np.ndarray:
+        """Global design embedding: mean of module embeddings (paper Eq.).
+
+        A design with a single (or flattened) module simply returns that
+        module's embedding.
+        """
+        embeddings = list(self.embed_modules(circuit).values())
+        if not embeddings:
+            return np.zeros(self.embedding_dim)
+        return _normalize(np.mean(embeddings, axis=0))
+
+
+def _normalize(vec: np.ndarray) -> np.ndarray:
+    norm = np.linalg.norm(vec)
+    return vec / norm if norm > 0 else vec

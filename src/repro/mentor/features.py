@@ -1,0 +1,286 @@
+"""Feature extraction from Verilog AST constructs.
+
+CircuitMentor represents each module as a small dataflow graph whose nodes
+are AST-level components (ports, continuous assignments, always blocks,
+child instances).  This module computes per-component feature vectors and
+per-module summaries, including the functional classification (arithmetic /
+memory / control / crypto) that drives compile-strategy selection
+(paper §IV-A "Global Circuit Feature Extraction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hdl.ast_nodes import (
+    AlwaysBlock,
+    Assign,
+    BinaryOp,
+    CaseStatement,
+    Concat,
+    Expr,
+    FunctionCall,
+    Identifier,
+    IfStatement,
+    IndexSelect,
+    Module,
+    Number,
+    RangeSelect,
+    Repeat,
+    Statement,
+    TernaryOp,
+    UnaryOp,
+)
+
+__all__ = ["OpCounts", "count_ops", "expr_signals", "module_profile", "FEATURE_DIM", "classify_module"]
+
+
+@dataclass
+class OpCounts:
+    """Operator census of an expression tree / statement list."""
+
+    add: int = 0
+    mul: int = 0
+    logic: int = 0  # and/or/not bitwise
+    xor: int = 0
+    compare: int = 0
+    shift: int = 0
+    mux: int = 0  # ternaries + if/case branches
+    select: int = 0
+
+    def merge(self, other: "OpCounts") -> "OpCounts":
+        for name in vars(self):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    @property
+    def total(self) -> int:
+        return sum(vars(self).values())
+
+
+_BIN_CLASS = {
+    "+": "add",
+    "-": "add",
+    "*": "mul",
+    "/": "mul",
+    "%": "mul",
+    "**": "mul",
+    "&": "logic",
+    "|": "logic",
+    "&&": "logic",
+    "||": "logic",
+    "^": "xor",
+    "~^": "xor",
+    "^~": "xor",
+    "==": "compare",
+    "!=": "compare",
+    "===": "compare",
+    "!==": "compare",
+    "<": "compare",
+    ">": "compare",
+    "<=": "compare",
+    ">=": "compare",
+    "<<": "shift",
+    ">>": "shift",
+    "<<<": "shift",
+    ">>>": "shift",
+}
+
+
+def count_ops(node, counts: OpCounts | None = None) -> OpCounts:
+    """Recursively count operators in an expression or statement tree."""
+    counts = counts or OpCounts()
+    if node is None:
+        return counts
+    if isinstance(node, list):
+        for item in node:
+            count_ops(item, counts)
+        return counts
+    if isinstance(node, BinaryOp):
+        kind = _BIN_CLASS.get(node.op)
+        if kind:
+            setattr(counts, kind, getattr(counts, kind) + 1)
+        count_ops(node.left, counts)
+        count_ops(node.right, counts)
+        return counts
+    if isinstance(node, UnaryOp):
+        if node.op in ("~", "!", "&", "|", "~&", "~|"):
+            counts.logic += 1
+        elif node.op in ("^", "~^"):
+            counts.xor += 1
+        count_ops(node.operand, counts)
+        return counts
+    if isinstance(node, TernaryOp):
+        counts.mux += 1
+        count_ops(node.cond, counts)
+        count_ops(node.if_true, counts)
+        count_ops(node.if_false, counts)
+        return counts
+    if isinstance(node, (IndexSelect, RangeSelect)):
+        counts.select += 1
+        count_ops(getattr(node, "base", None), counts)
+        count_ops(getattr(node, "index", None), counts)
+        count_ops(getattr(node, "msb", None), counts)
+        count_ops(getattr(node, "lsb", None), counts)
+        return counts
+    if isinstance(node, Concat):
+        count_ops(node.parts, counts)
+        return counts
+    if isinstance(node, Repeat):
+        count_ops(node.value, counts)
+        return counts
+    if isinstance(node, FunctionCall):
+        count_ops(node.args, counts)
+        return counts
+    if isinstance(node, IfStatement):
+        counts.mux += 1
+        count_ops(node.cond, counts)
+        count_ops(node.then_body, counts)
+        count_ops(node.else_body, counts)
+        return counts
+    if isinstance(node, CaseStatement):
+        counts.mux += max(len(node.items) - 1, 1)
+        count_ops(node.subject, counts)
+        for item in node.items:
+            count_ops(item.labels, counts)
+            count_ops(item.body, counts)
+        return counts
+    for attr in ("target", "value", "body"):
+        if hasattr(node, attr):
+            count_ops(getattr(node, attr), counts)
+    return counts
+
+
+def expr_signals(node, out: set[str] | None = None) -> set[str]:
+    """All identifier names referenced in an expression/statement tree."""
+    out = out if out is not None else set()
+    if node is None:
+        return out
+    if isinstance(node, list):
+        for item in node:
+            expr_signals(item, out)
+        return out
+    if isinstance(node, Identifier):
+        out.add(node.name)
+        return out
+    if isinstance(node, Number):
+        return out
+    for attr in (
+        "left", "right", "operand", "cond", "if_true", "if_false",
+        "parts", "count", "value", "base", "index", "msb", "lsb",
+        "args", "target", "then_body", "else_body", "subject",
+        "items", "labels", "body",
+    ):
+        if hasattr(node, attr):
+            expr_signals(getattr(node, attr), out)
+    return out
+
+
+#: Length of per-component feature vectors (see :func:`component_features`).
+FEATURE_DIM = 16
+
+
+def component_features(kind: str, width: int, counts: OpCounts, mem_bits: int = 0) -> np.ndarray:
+    """Feature vector for one AST component node.
+
+    Layout: 6 one-hot kind dims, normalized width, 8 op-census dims,
+    normalized memory bits.
+    """
+    kinds = ("port_in", "port_out", "assign", "always_comb", "always_seq", "instance")
+    vec = np.zeros(FEATURE_DIM)
+    if kind in kinds:
+        vec[kinds.index(kind)] = 1.0
+    vec[6] = min(width, 128) / 128.0
+    census = (
+        counts.add, counts.mul, counts.logic, counts.xor,
+        counts.compare, counts.shift, counts.mux, counts.select,
+    )
+    for i, value in enumerate(census):
+        vec[7 + i] = np.log1p(value)
+    vec[15] = np.log1p(mem_bits) / 12.0
+    return vec
+
+
+@dataclass
+class ModuleProfile:
+    """Summary statistics for one module (used for classification)."""
+
+    name: str
+    ops: OpCounts = field(default_factory=OpCounts)
+    num_ports: int = 0
+    num_instances: int = 0
+    num_always_seq: int = 0
+    num_always_comb: int = 0
+    num_assigns: int = 0
+    max_width: int = 1
+    mem_bits: int = 0
+
+    @property
+    def category(self) -> str:
+        return classify_module(self)
+
+
+def module_profile(module: Module, param_env: dict[str, int] | None = None) -> ModuleProfile:
+    """Compute the :class:`ModuleProfile` for a parsed module."""
+    from ..hdl.elaborator import ElaborationError, eval_const_expr
+
+    profile = ModuleProfile(name=module.name)
+    env = dict(param_env or {})
+    for decl in module.params:
+        try:
+            env.setdefault(decl.name, eval_const_expr(decl.value, env))
+        except ElaborationError:
+            env.setdefault(decl.name, 1)
+    profile.num_ports = len(module.ports)
+
+    def range_width(rng) -> int:
+        if rng is None:
+            return 1
+        try:
+            return abs(eval_const_expr(rng.msb, env) - eval_const_expr(rng.lsb, env)) + 1
+        except ElaborationError:
+            return 8
+
+    for port in module.ports:
+        profile.max_width = max(profile.max_width, range_width(port.range))
+    for net in module.nets:
+        width = range_width(net.range)
+        profile.max_width = max(profile.max_width, width)
+        if net.array_range is not None:
+            profile.mem_bits += width * range_width(net.array_range)
+    for assign in module.assigns:
+        profile.num_assigns += 1
+        profile.ops.merge(count_ops(assign.value))
+    for block in module.always_blocks:
+        if block.event.is_sequential:
+            profile.num_always_seq += 1
+        else:
+            profile.num_always_comb += 1
+        profile.ops.merge(count_ops(block.body))
+    profile.num_instances = len(module.instances)
+    return profile
+
+
+def classify_module(profile: ModuleProfile) -> str:
+    """Functional category: arithmetic / memory / crypto / control / mixed.
+
+    Categories drive compile-strategy selection: arithmetic modules want
+    speed/area trade-offs (DesignWare-style resynthesis, sizing), memory
+    modules want access-time-friendly mapping, crypto (XOR-dominated)
+    wants chain balancing, control wants mux/area cleanup (paper §IV-A).
+    """
+    ops = profile.ops
+    if profile.mem_bits >= 64:
+        return "memory"
+    # Bit/part selects are wiring, not computation; exclude them from the
+    # ratio base so they don't dilute the functional signal.
+    total = max(ops.total - ops.select, 1)
+    if (ops.mul + ops.add) / total > 0.35 and (ops.mul + ops.add) >= 2:
+        return "arithmetic"
+    if ops.xor / total > 0.4 and ops.xor >= 4:
+        return "crypto"
+    if (ops.mux + ops.compare + ops.logic) / total > 0.55:
+        return "control"
+    return "mixed"

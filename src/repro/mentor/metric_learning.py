@@ -1,0 +1,225 @@
+"""Metric learning for circuit embeddings (paper §IV-A, Fig. 4).
+
+Trains the GNN so same-family designs cluster and different families
+separate, using the losses the paper cites: contrastive loss [31] and
+multi-similarity loss with general pair weighting [32], plus N-pair.
+All losses return ``(value, gradient w.r.t. each embedding)`` so the
+numpy GNN can backprop without autograd.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gnn import Adam, GraphData
+from .embeddings import CircuitEncoder
+
+__all__ = [
+    "contrastive_loss",
+    "multi_similarity_loss",
+    "n_pair_loss",
+    "MetricTrainer",
+    "clustering_quality",
+]
+
+
+def contrastive_loss(
+    emb_a: np.ndarray, emb_b: np.ndarray, same: bool, margin: float = 0.5
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Pairwise contrastive loss on a single pair.
+
+    Same-class pairs are pulled together (loss = d^2); different-class
+    pairs are pushed beyond ``margin`` (loss = max(0, margin - d)^2).
+    """
+    diff = emb_a - emb_b
+    dist = float(np.linalg.norm(diff))
+    if same:
+        return dist**2, 2 * diff, -2 * diff
+    if dist >= margin or dist == 0.0:
+        zero = np.zeros_like(diff)
+        return 0.0, zero, zero
+    scale = -2.0 * (margin - dist) / dist
+    return (margin - dist) ** 2, scale * diff, -scale * diff
+
+
+def multi_similarity_loss(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    alpha: float = 2.0,
+    beta: float = 10.0,
+    base: float = 0.5,
+) -> tuple[float, np.ndarray]:
+    """Multi-similarity loss (Wang et al., CVPR'19) over a batch.
+
+    Operates on cosine similarities of (assumed normalized) embeddings;
+    returns the batch loss and d(loss)/d(embeddings).
+    """
+    n = len(embeddings)
+    sims = embeddings @ embeddings.T
+    loss = 0.0
+    grad_sims = np.zeros_like(sims)
+    for i in range(n):
+        pos = [j for j in range(n) if j != i and labels[j] == labels[i]]
+        neg = [j for j in range(n) if labels[j] != labels[i]]
+        if pos:
+            exp_pos = np.array([np.exp(-alpha * (sims[i, j] - base)) for j in pos])
+            loss += np.log1p(exp_pos.sum()) / alpha
+            coeff = -exp_pos / (1.0 + exp_pos.sum())
+            for j, c in zip(pos, coeff):
+                grad_sims[i, j] += c
+        if neg:
+            exp_neg = np.array([np.exp(beta * (sims[i, j] - base)) for j in neg])
+            loss += np.log1p(exp_neg.sum()) / beta
+            coeff = exp_neg / (1.0 + exp_neg.sum())
+            for j, c in zip(neg, coeff):
+                grad_sims[i, j] += c
+    grad = (grad_sims + grad_sims.T) @ embeddings
+    return float(loss), grad
+
+
+def n_pair_loss(
+    anchor: np.ndarray, positive: np.ndarray, negatives: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray, np.ndarray]:
+    """N-pair loss (Sohn, NIPS'16) for one anchor/positive and N negatives."""
+    pos_sim = anchor @ positive
+    neg_sims = negatives @ anchor
+    logits = np.concatenate([[pos_sim], neg_sims])
+    logits -= logits.max()
+    exp = np.exp(logits)
+    probs = exp / exp.sum()
+    loss = -np.log(probs[0] + 1e-12)
+    # d(loss)/d(sim_k) = probs_k - one_hot(positive)
+    dsims = probs.copy()
+    dsims[0] -= 1.0
+    grad_anchor = dsims[0] * positive + dsims[1:] @ negatives
+    grad_positive = dsims[0] * anchor
+    grad_negatives = np.outer(dsims[1:], anchor)
+    return float(loss), grad_anchor, grad_positive, grad_negatives
+
+
+def clustering_quality(embeddings: np.ndarray, labels: np.ndarray) -> dict:
+    """Intra/inter-class distance statistics (Fig. 4's before/after view)."""
+    labels = np.asarray(labels)
+    intra, inter = [], []
+    n = len(embeddings)
+    for i in range(n):
+        for j in range(i + 1, n):
+            dist = float(np.linalg.norm(embeddings[i] - embeddings[j]))
+            (intra if labels[i] == labels[j] else inter).append(dist)
+    intra_mean = float(np.mean(intra)) if intra else 0.0
+    inter_mean = float(np.mean(inter)) if inter else 0.0
+    ratio = intra_mean / inter_mean if inter_mean > 0 else float("inf")
+    return {
+        "intra_mean": intra_mean,
+        "inter_mean": inter_mean,
+        "ratio": ratio,
+        "separated": ratio < 1.0,
+    }
+
+
+@dataclass
+class TrainStats:
+    epochs: int
+    losses: list[float]
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else 0.0
+
+
+class MetricTrainer:
+    """Trains a :class:`CircuitEncoder` with metric-learning losses."""
+
+    def __init__(
+        self,
+        encoder: CircuitEncoder,
+        lr: float = 5e-3,
+        loss: str = "contrastive",
+        margin: float = 0.8,
+        seed: int = 0,
+    ) -> None:
+        if loss not in ("contrastive", "multi_similarity"):
+            raise ValueError(f"unknown loss {loss!r}")
+        self.encoder = encoder
+        self.loss_name = loss
+        self.margin = margin
+        self.rng = np.random.default_rng(seed)
+        model = encoder.model
+        self.optimizer = Adam(model.parameters, model.gradients, lr=lr)
+
+    def train(
+        self,
+        graphs: list[GraphData],
+        labels: list[int],
+        epochs: int = 30,
+        pairs_per_epoch: int = 32,
+    ) -> TrainStats:
+        """Train on labelled module graphs; returns the loss history."""
+        labels_arr = np.asarray(labels)
+        losses = []
+        for _ in range(epochs):
+            if self.loss_name == "contrastive":
+                epoch_loss = self._contrastive_epoch(graphs, labels_arr, pairs_per_epoch)
+            else:
+                epoch_loss = self._ms_epoch(graphs, labels_arr, pairs_per_epoch)
+            losses.append(epoch_loss)
+        return TrainStats(epochs=epochs, losses=losses)
+
+    def _embed_with_cache(self, graph: GraphData) -> np.ndarray:
+        return self.encoder.model.embed_graph(graph)
+
+    def _contrastive_epoch(self, graphs, labels, num_pairs) -> float:
+        model = self.encoder.model
+        total = 0.0
+        for _ in range(num_pairs):
+            i, j = self._sample_pair(labels)
+            same = labels[i] == labels[j]
+            model.zero_grad()
+            emb_i = model.embed_graph(graphs[i])
+            # Backprop for i must happen before the caches are overwritten
+            # by j's forward pass, so compute j's embedding first w/o grad,
+            # then redo i/j forward-backward separately.
+            emb_j = model.embed_graph(graphs[j])
+            loss, grad_i, grad_j = contrastive_loss(emb_i, emb_j, same, self.margin)
+            if loss > 0:
+                model.embed_graph(graphs[i])
+                model.backward_graph(grad_i)
+                model.embed_graph(graphs[j])
+                model.backward_graph(grad_j)
+                self.optimizer.step()
+            total += loss
+        return total / num_pairs
+
+    def _ms_epoch(self, graphs, labels, batch_size) -> float:
+        model = self.encoder.model
+        idx = self.rng.choice(len(graphs), size=min(batch_size, len(graphs)), replace=False)
+        embeddings = np.vstack([model.embed_graph(graphs[i]) for i in idx])
+        norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        normalized = embeddings / norms
+        loss, grad_norm = multi_similarity_loss(normalized, labels[idx])
+        model.zero_grad()
+        for row, i in enumerate(idx):
+            # grad through the normalization
+            norm = norms[row, 0]
+            g = grad_norm[row] / norm - (
+                normalized[row] * (grad_norm[row] @ normalized[row]) / norm
+            )
+            model.embed_graph(graphs[i])
+            model.backward_graph(g)
+        self.optimizer.step()
+        return loss
+
+    def _sample_pair(self, labels) -> tuple[int, int]:
+        n = len(labels)
+        if self.rng.random() < 0.5:
+            # positive pair
+            label = self.rng.choice(labels)
+            members = np.flatnonzero(labels == label)
+            if len(members) >= 2:
+                i, j = self.rng.choice(members, size=2, replace=False)
+                return int(i), int(j)
+        i, j = self.rng.choice(n, size=2, replace=False)
+        return int(i), int(j)

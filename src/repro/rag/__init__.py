@@ -1,0 +1,36 @@
+"""SynthRAG: domain-specific multimodal retrieval-augmented generation.
+
+Three retrieval modes (paper Table I): graph-embedding retrieval over the
+expert design database with domain reranking (Eq. 5), graph-structure
+retrieval via Cypher over circuit/library property graphs, and text-
+embedding retrieval over the tool manual with LLM reranking.
+"""
+
+from .knowledge import render_strategy_section, strategies_for_pathologies
+from .manual import MANUAL_ENTRIES, ManualEntry, manual_corpus
+from .rerank import LLMReranker, domain_rerank
+from .retrievers import (
+    EmbeddingRetriever,
+    ManualRetriever,
+    StrategyHit,
+    StructureRetriever,
+    load_library_graph,
+)
+from .synthrag import QUERY_METHODS, SynthRAG
+
+__all__ = [
+    "render_strategy_section",
+    "strategies_for_pathologies",
+    "MANUAL_ENTRIES",
+    "ManualEntry",
+    "manual_corpus",
+    "LLMReranker",
+    "domain_rerank",
+    "EmbeddingRetriever",
+    "ManualRetriever",
+    "StrategyHit",
+    "StructureRetriever",
+    "load_library_graph",
+    "QUERY_METHODS",
+    "SynthRAG",
+]

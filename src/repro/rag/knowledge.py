@@ -1,0 +1,80 @@
+"""Strategy knowledge: pathology -> command mapping and prompt rendering.
+
+Bridges CircuitMentor's detected pathologies to the strategy library so
+retrieved guidance can be rendered into the Generator's prompt sections.
+"""
+
+from __future__ import annotations
+
+from ..designs.database import STRATEGIES, Strategy
+from .retrievers import StrategyHit
+
+__all__ = ["strategies_for_pathologies", "render_strategy_section"]
+
+#: Priority-ordered pathology -> strategy mapping (paper §I's discussion:
+#: retiming for register imbalance, buffer balancing for high fanout, ...).
+_PATHOLOGY_STRATEGY = (
+    ("register_imbalance", "ultra_retime"),
+    ("retiming_target", "ultra_retime"),
+    ("high_fanout", "fanout_buffered"),
+    ("unbalanced_chains", "high_effort"),
+    ("wide_arithmetic", "high_effort"),
+    ("hierarchy_boundaries", "ultra_flatten"),
+    ("long_combinational", "ultra_flatten"),
+    ("easy_timing", "area_recovery"),
+)
+
+
+def strategies_for_pathologies(pathologies: list[str], limit: int = 3) -> list[Strategy]:
+    """Strategies addressing the detected pathologies, priority order.
+
+    When timing is already met the structural pathologies are moot: the
+    right move is to trade the positive slack for area (paper Table III:
+    ChatLS returns the smallest riscv32i/swerv areas).
+    """
+    if "timing_violated" not in pathologies:
+        return [STRATEGIES["area_recovery"]]
+    chosen: list[Strategy] = []
+    for pathology, strategy_name in _PATHOLOGY_STRATEGY:
+        if pathology in pathologies and strategy_name not in [s.name for s in chosen]:
+            chosen.append(STRATEGIES[strategy_name])
+        if len(chosen) >= limit:
+            break
+    if not chosen:
+        chosen.append(STRATEGIES["ultra_flatten"])
+    return chosen
+
+
+def render_strategy_section(
+    hits: list[StrategyHit] | None = None,
+    pathology_strategies: list[Strategy] | None = None,
+) -> str:
+    """Render retrieved + pathology strategies as a prompt section.
+
+    Each strategy's commands appear as ``- command: <cmd>`` lines, the
+    exact shape the simulated generator grounds on.
+    """
+    lines: list[str] = []
+    seen_commands: set[str] = set()
+
+    def add_strategy(name: str, description: str, commands, provenance: str) -> None:
+        lines.append(f"[{name}] ({provenance}) {description}")
+        for command in commands:
+            if command not in seen_commands:
+                lines.append(f"- command: {command}")
+                seen_commands.add(command)
+        lines.append("")
+
+    for strategy in pathology_strategies or []:
+        add_strategy(
+            strategy.name, strategy.description, strategy.commands, "design analysis"
+        )
+    for hit in hits or []:
+        add_strategy(
+            hit.strategy,
+            f"worked for similar design {hit.design} "
+            f"(similarity {hit.similarity:.2f}, cps {hit.characteristics['cps']:.2f})",
+            hit.commands,
+            "similar design",
+        )
+    return "\n".join(lines).strip()

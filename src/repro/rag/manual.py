@@ -1,0 +1,179 @@
+"""The logic synthesis tool user manual (retrieval corpus).
+
+DC-style documentation entries for every command the dc_shell substrate
+implements, plus non-synthesis distractor pages so manual retrieval is a
+real needle-in-haystack task (paper §IV-B: "we focus exclusively on
+retrieving descriptions of logic synthesis commands").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ManualEntry", "MANUAL_ENTRIES", "manual_corpus"]
+
+
+@dataclass(frozen=True)
+class ManualEntry:
+    """One manual page."""
+
+    command: str
+    synopsis: str
+    description: str
+    options: tuple[str, ...] = ()
+    is_synthesis: bool = True
+
+    @property
+    def text(self) -> str:
+        lines = [f"NAME\n  {self.command} - {self.synopsis}", "DESCRIPTION", f"  {self.description}"]
+        if self.options:
+            lines.append("OPTIONS")
+            lines.extend(f"  {option}" for option in self.options)
+        return "\n".join(lines)
+
+
+MANUAL_ENTRIES: tuple[ManualEntry, ...] = (
+    ManualEntry(
+        command="compile",
+        synopsis="perform logic-level and gate-level synthesis",
+        description=(
+            "Maps the design to the target technology library and runs "
+            "optimization passes. Map effort controls how aggressively the "
+            "tool restructures logic: medium performs mapping and cleanup; "
+            "high adds arithmetic resynthesis, chain balancing and "
+            "critical-path gate sizing."
+        ),
+        options=("-map_effort medium|high", "-area_effort low|medium|high", "-incremental"),
+    ),
+    ManualEntry(
+        command="compile_ultra",
+        synopsis="highest-effort synthesis with advanced optimizations",
+        description=(
+            "Runs the full optimization stack: auto-ungrouping of hierarchy, "
+            "DesignWare-style arithmetic implementation selection, balanced "
+            "restructuring, timing-driven gate sizing and fanout buffering. "
+            "The -retime option enables adaptive register retiming to "
+            "balance pipeline stages; -no_autoungroup preserves hierarchy "
+            "boundaries."
+        ),
+        options=("-retime", "-no_autoungroup", "-timing_high_effort_script"),
+    ),
+    ManualEntry(
+        command="optimize_registers",
+        synopsis="retime registers to balance sequential stages",
+        description=(
+            "Moves registers across combinational logic (Leiserson-Saxe "
+            "retiming) to reduce the worst stage delay. Most effective on "
+            "pipelines with unbalanced register placement or excessively "
+            "long combinational sections between registers; consider it "
+            "when register-to-register paths dominate timing violations."
+        ),
+    ),
+    ManualEntry(
+        command="balance_buffer",
+        synopsis="insert balanced buffer trees on high-fanout nets",
+        description=(
+            "Splits nets whose fanout exceeds the limit with buffer trees, "
+            "reducing the load seen by each driver. Advantageous for "
+            "mitigating timing issues caused by high-fanout nets such as "
+            "control strobes and enables; prefer it over retiming when the "
+            "violation stems from fanout-induced delay."
+        ),
+        options=("-max_fanout <n>",),
+    ),
+    ManualEntry(
+        command="set_max_fanout",
+        synopsis="set the maximum fanout design rule",
+        description=(
+            "Constrains the maximum fanout on nets in the current design; "
+            "compile enforces the limit by buffering. Typical values are "
+            "12-24 for timing-critical control logic."
+        ),
+    ),
+    ManualEntry(
+        command="set_max_area",
+        synopsis="set the area optimization target",
+        description=(
+            "Sets the target maximum area. A value of 0 directs the tool "
+            "to minimize area wherever timing allows, enabling downsizing "
+            "of off-critical cells (area recovery)."
+        ),
+    ),
+    ManualEntry(
+        command="ungroup",
+        synopsis="remove levels of hierarchy",
+        description=(
+            "Dissolves hierarchy boundaries so optimization can cross "
+            "module edges. Use -all -flatten to fully flatten the design; "
+            "recommended when critical paths traverse instance boundaries."
+        ),
+        options=("-all", "-flatten"),
+    ),
+    ManualEntry(
+        command="set_flatten",
+        synopsis="enable hierarchy flattening during compile",
+        description=(
+            "When true, compile removes hierarchy boundary buffers and "
+            "optimizes across module boundaries."
+        ),
+        options=("true|false",),
+    ),
+    ManualEntry(
+        command="create_clock",
+        synopsis="define a clock for timing analysis",
+        description=(
+            "Creates a clock with the given period on the named port. All "
+            "register-to-register and I/O paths are timed against it."
+        ),
+        options=("-period <ns>", "-name <clock>"),
+    ),
+    ManualEntry(
+        command="set_wire_load_model",
+        synopsis="select the wireload model for net delay estimation",
+        description=(
+            "Chooses the pre-layout wire capacitance model. Heavier models "
+            "(e.g. 5K_heavy_1k) estimate more interconnect load per fanout."
+        ),
+        options=("-name <model>",),
+    ),
+    ManualEntry(
+        command="report_timing",
+        synopsis="display timing paths",
+        description="Reports the most critical paths with per-cell delay increments.",
+    ),
+    ManualEntry(
+        command="report_qor",
+        synopsis="display quality-of-results summary",
+        description="Reports WNS, CPS, TNS, area, cell counts and power.",
+    ),
+    # -- distractor pages (non-synthesis content) ------------------------------
+    ManualEntry(
+        command="license_checkout",
+        synopsis="manage tool license features",
+        description="Checks out a license feature from the license daemon.",
+        is_synthesis=False,
+    ),
+    ManualEntry(
+        command="gui_start",
+        synopsis="launch the graphical interface",
+        description="Starts the GUI window system and layout viewers.",
+        is_synthesis=False,
+    ),
+    ManualEntry(
+        command="project_archive",
+        synopsis="archive project state to disk",
+        description="Writes a compressed archive of the project directory tree.",
+        is_synthesis=False,
+    ),
+    ManualEntry(
+        command="mail_report",
+        synopsis="email a report to the team",
+        description="Sends the given report file through the site mail relay.",
+        is_synthesis=False,
+    ),
+)
+
+
+def manual_corpus() -> list[ManualEntry]:
+    """All manual pages (synthesis + distractors)."""
+    return list(MANUAL_ENTRIES)

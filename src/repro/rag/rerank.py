@@ -1,0 +1,100 @@
+"""Reranking for SynthRAG retrievals.
+
+Two rerankers, matching the paper:
+
+* :func:`domain_rerank` — Eq. 5: ``Score(z_i) = alpha * sim(z_q, z_i) +
+  beta * c_i`` where ``c_i`` is a domain characteristic (timing, area or
+  power), normalized to [0, 1] across the candidate set so ``alpha`` and
+  ``beta`` weigh commensurable quantities.
+* :class:`LLMReranker` — the GPT-4o-as-reranker substitute for manual
+  pages: asks the simulated LLM to order candidates by relevance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..llm.base import LLMClient
+from ..llm.prompts import build_prompt
+from ..vectorstore import SearchResult
+
+__all__ = ["domain_rerank", "LLMReranker"]
+
+
+def domain_rerank(
+    results: list[SearchResult],
+    characteristic: Callable[[Any], float],
+    alpha: float = 0.7,
+    beta: float = 0.3,
+    higher_is_better: bool = True,
+) -> list[SearchResult]:
+    """Re-order retrieval hits by combined similarity + characteristic.
+
+    Args:
+        results: hits from a vector index (``score`` = cosine similarity).
+        characteristic: maps a hit's payload to its metric c_i (e.g. the
+            entry's best-case slack, or negative area).
+        alpha, beta: Eq. 5 weights.
+        higher_is_better: flip if lower characteristic values are better.
+
+    Returns:
+        The same hits, re-sorted by the blended score (best first).
+    """
+    if not results:
+        return []
+    values = np.array([characteristic(r.payload) for r in results], dtype=float)
+    if not higher_is_better:
+        values = -values
+    # Min-max normalize both signals over the candidate set so alpha/beta
+    # weigh commensurable quantities; otherwise near-tied cosine scores let
+    # the characteristic term override genuine similarity differences.
+    sims = np.array([r.score for r in results], dtype=float)
+    blended = alpha * _minmax(sims) + beta * _minmax(values)
+    order = np.argsort(blended)[::-1]
+    return [results[i] for i in order]
+
+
+def _minmax(values: np.ndarray) -> np.ndarray:
+    span = values.max() - values.min()
+    if span <= 0:
+        return np.zeros_like(values)
+    return (values - values.min()) / span
+
+
+class LLMReranker:
+    """Rerank text documents with a (simulated) LLM."""
+
+    def __init__(self, llm: LLMClient) -> None:
+        self.llm = llm
+
+    def rerank(
+        self, query: str, documents: list[tuple[str, str]], k: int | None = None
+    ) -> list[str]:
+        """Return document ids ordered by LLM-judged relevance.
+
+        Args:
+            query: the retrieval query.
+            documents: (doc_id, text) pairs, pre-filtered by the embedding
+                stage.
+            k: truncate the result to the top-k ids.
+        """
+        if not documents:
+            return []
+        candidates = "\n".join(
+            f"{doc_id}: {text[:200].replace(chr(10), ' ')}" for doc_id, text in documents
+        )
+        prompt = build_prompt(
+            {
+                "TASK": "RERANK",
+                "QUERY": query,
+                "CANDIDATES": candidates,
+            }
+        )
+        completion = self.llm.complete(prompt)
+        known = {doc_id for doc_id, _ in documents}
+        ordered = [line.strip() for line in completion.text.splitlines() if line.strip() in known]
+        # Any ids the model dropped keep their original relative order.
+        ordered += [doc_id for doc_id, _ in documents if doc_id not in ordered]
+        return ordered[:k] if k else ordered

@@ -1,0 +1,133 @@
+"""SynthRAG: the multimodal RAG facade (paper §IV-B, Fig. 2, Table I).
+
+Bundles the three retrievers behind one object the Generator and
+SynthExpert call:
+
+* ``retrieve_strategies`` — graph-embedding retrieval + domain rerank.
+* ``module_code`` / ``cell_info`` / ``cypher`` — graph-structure retrieval.
+* ``manual`` — LLM-embedding retrieval over the tool manual + LLM rerank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..designs.database import ExpertDatabase
+from ..graphdb import GraphStore
+from ..llm.base import LLMClient
+from ..mentor.circuit_graph import CircuitGraph
+from ..mentor.embeddings import CircuitEncoder
+from ..synth.library import TechLibrary, nangate45
+from .rerank import LLMReranker
+from .retrievers import (
+    EmbeddingRetriever,
+    ManualRetriever,
+    StrategyHit,
+    StructureRetriever,
+    load_library_graph,
+)
+
+__all__ = ["SynthRAG", "QUERY_METHODS"]
+
+#: Paper Table I, as data.
+QUERY_METHODS = (
+    {
+        "category": "High Level Information of Circuit Design",
+        "representation": "Graph Embedding",
+        "query_method": "Join",
+        "retrieval_content": "Compile Strategy / Optimization Strategy",
+    },
+    {
+        "category": "Code of Circuit Design",
+        "representation": "Graph Structure",
+        "query_method": "Direct",
+        "retrieval_content": "The code of the module where the path is located",
+    },
+    {
+        "category": "Target Library",
+        "representation": "Graph Structure",
+        "query_method": "Direct",
+        "retrieval_content": "Gate Cell Information",
+    },
+    {
+        "category": "Logic Synthesis Tool User Manual",
+        "representation": "LLM Embedding",
+        "query_method": "Join",
+        "retrieval_content": "Command Usage / Command Requirement",
+    },
+)
+
+
+@dataclass
+class SynthRAG:
+    """The assembled multimodal retrieval stack."""
+
+    database: ExpertDatabase
+    encoder: CircuitEncoder
+    embedding_retriever: EmbeddingRetriever
+    structure_retriever: StructureRetriever
+    manual_retriever: ManualRetriever
+
+    @classmethod
+    def build(
+        cls,
+        database: ExpertDatabase,
+        circuit: CircuitGraph | None = None,
+        library: TechLibrary | None = None,
+        llm: LLMClient | None = None,
+        alpha: float = 0.7,
+        beta: float = 0.3,
+    ) -> "SynthRAG":
+        """Assemble SynthRAG for one design under customization."""
+        library = library or nangate45()
+        circuit_store = circuit.store if circuit is not None else GraphStore()
+        library_store = load_library_graph(library)
+        reranker = LLMReranker(llm) if llm is not None else None
+        return cls(
+            database=database,
+            encoder=database.encoder,
+            embedding_retriever=EmbeddingRetriever(database, alpha=alpha, beta=beta),
+            structure_retriever=StructureRetriever(circuit_store, library_store, llm=llm),
+            manual_retriever=ManualRetriever(reranker=reranker),
+        )
+
+    # -- graph-embedding mode -------------------------------------------------
+
+    def retrieve_strategies(
+        self, query_embedding: np.ndarray, k: int = 3
+    ) -> list[StrategyHit]:
+        return self.embedding_retriever.retrieve_strategies(query_embedding, k=k)
+
+    def similar_designs(self, query_embedding: np.ndarray, k: int = 3):
+        return self.embedding_retriever.retrieve_designs(query_embedding, k=k)
+
+    def similar_modules(self, query_embedding: np.ndarray, k: int = 3):
+        return self.embedding_retriever.retrieve_modules(query_embedding, k=k)
+
+    # -- graph-structure mode --------------------------------------------------
+
+    def module_code(self, module_name: str) -> str | None:
+        return self.structure_retriever.module_code(module_name)
+
+    def cell_info(self, cell_name: str) -> dict[str, Any] | None:
+        return self.structure_retriever.cell_info(cell_name)
+
+    def cypher(self, query: str, target: str = "circuit") -> list[dict[str, Any]]:
+        return self.structure_retriever.query(query, target=target)
+
+    # -- LLM-embedding mode ------------------------------------------------------
+
+    def manual(self, query: str, k: int = 3):
+        return self.manual_retriever.retrieve(query, k=k)
+
+    def command_exists(self, command: str) -> bool:
+        """Whether the manual documents the command (hallucination check)."""
+        return self.manual_retriever.lookup(command.split()[0]) is not None
+
+    @staticmethod
+    def table1() -> tuple[dict, ...]:
+        """Paper Table I as structured rows."""
+        return QUERY_METHODS

@@ -1,0 +1,421 @@
+"""``dc_shell``: a Design-Compiler-style synthesis shell.
+
+Executes Tcl synthesis scripts against the engine: reads RTL, applies
+constraints, runs compile/optimization commands as real netlist
+transformations, and renders DC-style reports.  This is the "commercial
+logic synthesis tool" substitute the whole evaluation runs through.
+
+Typical script::
+
+    read_verilog aes
+    current_design aes
+    link
+    set_wire_load_model -name 5K_heavy_1k
+    create_clock -period 2.0 clk
+    set_max_fanout 24
+    compile_ultra -retime
+    report_qor
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hdl.elaborator import ElaborationError, elaborate
+from ..hdl.netlist import Netlist
+from ..hdl.parser import ParseError
+from .library import TechLibrary, nangate45
+from .optimizer import (
+    balance_chains,
+    buffer_high_fanout,
+    recover_area,
+    resynthesize_adders,
+    retime,
+    size_gates,
+)
+from .reports import (
+    QoRSnapshot,
+    render_area_report,
+    render_qor_report,
+    render_timing_report,
+    snapshot,
+)
+from .sdc import Constraints
+from .tcl import TclError, TclInterpreter
+from .techmap import cleanup, map_complex_gates, map_to_library, merge_inverters
+from .timing import TimingEngine
+from .wireload import WireLoadModel, get_wireload
+
+__all__ = ["DCShell", "ScriptResult", "DCShellError"]
+
+
+class DCShellError(TclError):
+    """Raised for semantically invalid shell commands."""
+
+
+@dataclass
+class ScriptResult:
+    """Outcome of running one synthesis script."""
+
+    success: bool
+    error: str | None
+    transcript: list[tuple[str, str]] = field(default_factory=list)
+    qor: QoRSnapshot | None = None
+
+    @property
+    def executable(self) -> bool:
+        return self.success
+
+
+class DCShell:
+    """One synthesis session: design + library + constraints + commands."""
+
+    def __init__(self, library: TechLibrary | None = None) -> None:
+        self.library = library or nangate45()
+        self.wireload: WireLoadModel = get_wireload("5K_hvratio_1_1")
+        self.constraints = Constraints()
+        self.design_sources: dict[str, str] = {}
+        self.design_tops: dict[str, str] = {}
+        self.netlist: Netlist | None = None
+        self.design_name: str | None = None
+        self.flatten = False
+        self.compiled = False
+        self.pass_log: list[str] = []
+        self.last_written: str | None = None
+        self.interp = TclInterpreter()
+        self._register_commands()
+
+    # -- design registry ------------------------------------------------------------
+
+    def add_design(self, name: str, verilog: str, top: str | None = None) -> None:
+        """Register RTL so scripts can ``read_verilog <name>``."""
+        self.design_sources[name] = verilog
+        self.design_tops[name] = top or name
+
+    # -- script execution --------------------------------------------------------------
+
+    def run_script(self, script: str) -> ScriptResult:
+        """Execute a full Tcl script; never raises (errors are captured)."""
+        try:
+            transcript = self.interp.eval_script(script)
+        except (TclError, ElaborationError, ParseError, KeyError, ValueError) as exc:
+            return ScriptResult(success=False, error=str(exc))
+        qor = self.qor() if self.netlist is not None else None
+        return ScriptResult(success=True, error=None, transcript=transcript, qor=qor)
+
+    def qor(self) -> QoRSnapshot:
+        """Structured QoR for the current design."""
+        engine = self._engine()
+        return snapshot(self.design_name or "unknown", engine, engine.analyze())
+
+    def timing_report(self) -> str:
+        engine = self._engine()
+        return render_timing_report(self.design_name or "?", engine.analyze())
+
+    def _engine(self) -> TimingEngine:
+        if self.netlist is None:
+            raise DCShellError("no design loaded (run read_verilog first)")
+        return TimingEngine(self.netlist, self.library, self.wireload, self.constraints)
+
+    # -- command registration ---------------------------------------------------------
+
+    def _register_commands(self) -> None:
+        shell_commands = {
+            "read_verilog": self._cmd_read_verilog,
+            "current_design": self._cmd_current_design,
+            "link": self._cmd_link,
+            "set_wire_load_model": self._cmd_set_wire_load_model,
+            "create_clock": self._cmd_create_clock,
+            "set_clock_uncertainty": self._cmd_set_clock_uncertainty,
+            "set_input_delay": self._cmd_set_input_delay,
+            "set_output_delay": self._cmd_set_output_delay,
+            "set_max_area": self._cmd_set_max_area,
+            "set_max_fanout": self._cmd_set_max_fanout,
+            "set_flatten": self._cmd_set_flatten,
+            "ungroup": self._cmd_ungroup,
+            "compile": self._cmd_compile,
+            "compile_ultra": self._cmd_compile_ultra,
+            "optimize_registers": self._cmd_optimize_registers,
+            "balance_buffer": self._cmd_balance_buffer,
+            "report_timing": self._cmd_report_timing,
+            "report_area": self._cmd_report_area,
+            "report_qor": self._cmd_report_qor,
+            "report_power": self._cmd_report_power,
+            "write": self._cmd_write,
+            "all_inputs": lambda a: "[all_inputs]",
+            "all_outputs": lambda a: "[all_outputs]",
+            "get_ports": lambda a: a[0] if a else "",
+        }
+        for name, method in shell_commands.items():
+            self.interp.register(name, lambda i, a, m=method: m(a))
+
+    # -- option parsing helper -----------------------------------------------------------
+
+    @staticmethod
+    def _parse_options(
+        args: list[str], value_options: set[str]
+    ) -> tuple[dict[str, str], list[str], set[str]]:
+        """Split args into ``-opt value`` pairs, flags and positionals."""
+        options: dict[str, str] = {}
+        flags: set[str] = set()
+        positional: list[str] = []
+        i = 0
+        while i < len(args):
+            arg = args[i]
+            if arg.startswith("-"):
+                name = arg[1:]
+                if name in value_options and i + 1 < len(args):
+                    options[name] = args[i + 1]
+                    i += 2
+                else:
+                    flags.add(name)
+                    i += 1
+            else:
+                positional.append(arg)
+                i += 1
+        return options, positional, flags
+
+    # -- commands ------------------------------------------------------------------------
+
+    def _cmd_read_verilog(self, args: list[str]) -> str:
+        if not args:
+            raise DCShellError("read_verilog: missing design name")
+        name = args[0].strip("{}")
+        if name not in self.design_sources:
+            raise DCShellError(f"read_verilog: unknown design {name!r}")
+        top = self.design_tops[name]
+        self.netlist = elaborate(self.design_sources[name], top)
+        self.design_name = name
+        self.compiled = False
+        self.pass_log = [f"read_verilog {name}"]
+        return f"Loaded design {name} ({self.netlist.num_cells} cells)"
+
+    def _cmd_current_design(self, args: list[str]) -> str:
+        if not args:
+            return self.design_name or ""
+        requested = args[0].strip("{}")
+        if self.design_name is not None and requested not in (
+            self.design_name,
+            self.design_tops.get(self.design_name, ""),
+        ):
+            raise DCShellError(f"current_design: {requested!r} is not loaded")
+        return requested
+
+    def _cmd_link(self, args: list[str]) -> str:
+        if self.netlist is None:
+            raise DCShellError("link: no design loaded")
+        self.netlist.validate()
+        return "Linked successfully"
+
+    def _cmd_set_wire_load_model(self, args: list[str]) -> str:
+        options, positional, _ = self._parse_options(args, {"name"})
+        name = options.get("name") or (positional[0] if positional else None)
+        if name is None:
+            raise DCShellError("set_wire_load_model: -name required")
+        self.wireload = get_wireload(name)
+        return name
+
+    def _cmd_create_clock(self, args: list[str]) -> str:
+        options, positional, _ = self._parse_options(args, {"period", "name"})
+        if "period" not in options:
+            raise DCShellError("create_clock: -period required")
+        self.constraints.clock_period = float(options["period"])
+        self.constraints.clock_name = options.get("name", "clk")
+        if positional:
+            port = positional[0].strip("{}")
+            self.constraints.clock_port = port
+        return self.constraints.clock_name
+
+    def _cmd_set_clock_uncertainty(self, args: list[str]) -> str:
+        if not args:
+            raise DCShellError("set_clock_uncertainty: missing value")
+        self.constraints.clock_uncertainty = float(args[0])
+        return args[0]
+
+    def _cmd_set_input_delay(self, args: list[str]) -> str:
+        options, positional, _ = self._parse_options(args, {"clock"})
+        if not positional:
+            raise DCShellError("set_input_delay: missing delay value")
+        value = float(positional[0])
+        ports = [p.strip("{}") for p in positional[1:]]
+        if not ports or ports == ["[all_inputs]"]:
+            self.constraints.input_delay = value
+        else:
+            for port in ports:
+                self.constraints.per_input_delay[port] = value
+        return positional[0]
+
+    def _cmd_set_output_delay(self, args: list[str]) -> str:
+        options, positional, _ = self._parse_options(args, {"clock"})
+        if not positional:
+            raise DCShellError("set_output_delay: missing delay value")
+        value = float(positional[0])
+        ports = [p.strip("{}") for p in positional[1:]]
+        if not ports or ports == ["[all_outputs]"]:
+            self.constraints.output_delay = value
+        else:
+            for port in ports:
+                self.constraints.per_output_delay[port] = value
+        return positional[0]
+
+    def _cmd_set_max_area(self, args: list[str]) -> str:
+        if not args:
+            raise DCShellError("set_max_area: missing value")
+        self.constraints.max_area = float(args[0])
+        return args[0]
+
+    def _cmd_set_max_fanout(self, args: list[str]) -> str:
+        positional = [a for a in args if not a.startswith("-")]
+        if not positional:
+            raise DCShellError("set_max_fanout: missing value")
+        self.constraints.max_fanout = int(float(positional[0]))
+        return positional[0]
+
+    def _cmd_set_flatten(self, args: list[str]) -> str:
+        value = args[0].lower() if args else "true"
+        self.flatten = value in ("true", "1", "yes")
+        return str(self.flatten).lower()
+
+    def _cmd_ungroup(self, args: list[str]) -> str:
+        _, _, flags = self._parse_options(args, set())
+        if "all" in flags or "flatten" in flags:
+            self.flatten = True
+        return "1"
+
+    def _require_design(self, command: str) -> Netlist:
+        if self.netlist is None:
+            raise DCShellError(f"{command}: no design loaded")
+        return self.netlist
+
+    def _cmd_compile(self, args: list[str]) -> str:
+        netlist = self._require_design("compile")
+        options, _, flags = self._parse_options(
+            args, {"map_effort", "area_effort", "power_effort"}
+        )
+        effort = options.get("map_effort", "medium")
+        if "incremental" in flags and self.compiled:
+            # Incremental compile: keep the mapped netlist and push the
+            # timing-driven passes harder than the main flow — a wider
+            # sizing candidate scan and a deeper retiming budget find the
+            # moves the first invocation's greedy search abandoned.
+            size_gates(
+                netlist, self.library, self.wireload, self.constraints,
+                max_rounds=60, scan=40,
+            )
+            retime(netlist, self.library, self.wireload, self.constraints, max_moves=500)
+            if self.constraints.max_fanout:
+                buffer_high_fanout(netlist, self.library, self.wireload, self.constraints)
+            size_gates(
+                netlist, self.library, self.wireload, self.constraints,
+                max_rounds=30, scan=40,
+            )
+            if self.constraints.max_area is not None:
+                recover_area(netlist, self.library, self.wireload, self.constraints)
+            self.pass_log.append("compile -incremental")
+            return self._compile_summary()
+        map_to_library(netlist, self.library)
+        cleanup(netlist, self.library, flatten=self.flatten)
+        self.pass_log.append(f"compile -map_effort {effort}")
+        if effort == "high":
+            resynthesize_adders(netlist, self.library)
+            balance_chains(netlist, self.library)
+            cleanup(netlist, self.library, flatten=self.flatten)
+            map_to_library(netlist, self.library)
+            size_gates(netlist, self.library, self.wireload, self.constraints, max_rounds=25)
+        if self.constraints.max_fanout:
+            buffer_high_fanout(
+                netlist, self.library, self.wireload, self.constraints
+            )
+        if self.constraints.max_area is not None:
+            map_complex_gates(netlist, self.library)
+            if effort != "high":
+                recover_area(netlist, self.library, self.wireload, self.constraints)
+        self.compiled = True
+        return self._compile_summary()
+
+    def _cmd_compile_ultra(self, args: list[str]) -> str:
+        netlist = self._require_design("compile_ultra")
+        _, _, flags = self._parse_options(args, set())
+        if "no_autoungroup" not in flags:
+            self.flatten = True
+        map_to_library(netlist, self.library)
+        resynthesize_adders(netlist, self.library)
+        cleanup(netlist, self.library, flatten=self.flatten)
+        balance_chains(netlist, self.library)
+        cleanup(netlist, self.library, flatten=self.flatten)
+        map_to_library(netlist, self.library)
+        self.pass_log.append("compile_ultra" + (" -retime" if "retime" in flags else ""))
+        if "retime" in flags:
+            retime(netlist, self.library, self.wireload, self.constraints)
+        size_gates(netlist, self.library, self.wireload, self.constraints, max_rounds=60)
+        buffer_high_fanout(
+            netlist,
+            self.library,
+            self.wireload,
+            self.constraints,
+            max_fanout=self.constraints.max_fanout or 24,
+        )
+        size_gates(netlist, self.library, self.wireload, self.constraints, max_rounds=30)
+        if self.constraints.max_area is not None:
+            recover_area(netlist, self.library, self.wireload, self.constraints)
+        self.compiled = True
+        return self._compile_summary()
+
+    def _cmd_optimize_registers(self, args: list[str]) -> str:
+        netlist = self._require_design("optimize_registers")
+        result = retime(netlist, self.library, self.wireload, self.constraints)
+        self.pass_log.append("optimize_registers")
+        return (
+            f"retiming: {result.changes} moves, "
+            f"slack {result.wns_before:.3f} -> {result.wns_after:.3f}"
+        )
+
+    def _cmd_balance_buffer(self, args: list[str]) -> str:
+        netlist = self._require_design("balance_buffer")
+        options, _, _ = self._parse_options(args, {"max_fanout"})
+        limit = int(options.get("max_fanout", self.constraints.max_fanout or 12))
+        result = buffer_high_fanout(
+            netlist, self.library, self.wireload, self.constraints, max_fanout=limit
+        )
+        self.pass_log.append("balance_buffer")
+        return f"buffering: {result.changes} buffers inserted"
+
+    def _compile_summary(self) -> str:
+        qor = self.qor()
+        return (
+            f"Optimization complete: area={qor.area:.1f} "
+            f"wns={qor.wns:.3f} tns={qor.tns:.3f}"
+        )
+
+    def _cmd_report_timing(self, args: list[str]) -> str:
+        self._require_design("report_timing")
+        return self.timing_report()
+
+    def _cmd_report_area(self, args: list[str]) -> str:
+        self._require_design("report_area")
+        return render_area_report(self.design_name or "?", self._engine())
+
+    def _cmd_report_qor(self, args: list[str]) -> str:
+        self._require_design("report_qor")
+        return render_qor_report(self.qor())
+
+    def _cmd_report_power(self, args: list[str]) -> str:
+        self._require_design("report_power")
+        from .power import PowerAnalyzer
+
+        analyzer = PowerAnalyzer(
+            self.netlist, self.library, self.wireload, self.constraints
+        )
+        return analyzer.analyze().render(self.design_name or "?")
+
+    def _cmd_write(self, args: list[str]) -> str:
+        """``write -format verilog``: emit the gate-level netlist."""
+        self._require_design("write")
+        options, _, _ = self._parse_options(args, {"format", "output"})
+        fmt = options.get("format", "verilog")
+        if fmt != "verilog":
+            raise DCShellError(f"write: unsupported format {fmt!r}")
+        from ..hdl.writer import write_verilog
+
+        self.last_written = write_verilog(self.netlist, self.design_name)
+        return f"wrote {len(self.last_written)} bytes of structural verilog"

@@ -1,0 +1,194 @@
+"""Liberty (.lib) subset parser and writer.
+
+Reads the attribute/group structure used by our cells::
+
+    library (nangate45) {
+      cell (NAND2_X1) {
+        area : 0.798;
+        cell_leakage_power : 10.2;
+        function_class : "NAND2";
+        drive_strength : 1;
+        pin (o) {
+          direction : output;
+          drive_resistance : 4.1;
+          intrinsic_delay : 0.018;
+        }
+        pin (a) { direction : input; capacitance : 1.0; }
+      }
+    }
+
+The writer emits exactly this dialect, so write->parse round-trips.  Real
+Nangate .lib files carry 2-D NLDM tables; this subset collapses them to the
+linear model documented in :mod:`repro.synth.library`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .library import LibCell, TechLibrary
+
+__all__ = ["LibertyError", "parse_liberty", "write_liberty"]
+
+
+class LibertyError(ValueError):
+    """Raised on malformed liberty text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+|/\*.*?\*/|//[^\n]*)
+  | (?P<NUMBER>-?\d+(\.\d+)?([eE][+-]?\d+)?)
+  | (?P<STRING>"[^"]*")
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<OP>[(){};:,])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _lex(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise LibertyError(f"cannot tokenize near {text[pos:pos+20]!r}")
+        pos = m.end()
+        if m.lastgroup != "WS":
+            tokens.append((m.lastgroup, m.group()))
+    tokens.append(("EOF", ""))
+    return tokens
+
+
+class _Group:
+    """Parsed liberty group: name, argument, attributes, subgroups."""
+
+    def __init__(self, kind: str, arg: str) -> None:
+        self.kind = kind
+        self.arg = arg
+        self.attributes: dict[str, object] = {}
+        self.groups: list[_Group] = []
+
+    def first(self, kind: str) -> "_Group | None":
+        for g in self.groups:
+            if g.kind == kind:
+                return g
+        return None
+
+    def all(self, kind: str) -> list["_Group"]:
+        return [g for g in self.groups if g.kind == kind]
+
+
+class _LibertyParser:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def expect(self, kind: str, value: str | None = None) -> str:
+        k, v = self.peek()
+        if k != kind or (value is not None and v != value):
+            raise LibertyError(f"expected {value or kind}, got {v!r}")
+        self.pos += 1
+        return v
+
+    def parse_group(self) -> _Group:
+        kind = self.expect("NAME")
+        self.expect("OP", "(")
+        arg = ""
+        if self.peek()[0] in ("NAME", "STRING", "NUMBER"):
+            arg = self.peek()[1].strip('"')
+            self.pos += 1
+        self.expect("OP", ")")
+        self.expect("OP", "{")
+        group = _Group(kind, arg)
+        while self.peek() != ("OP", "}"):
+            name = self.expect("NAME")
+            k, v = self.peek()
+            if (k, v) == ("OP", ":"):
+                self.pos += 1
+                value = self._parse_value()
+                self.expect("OP", ";")
+                group.attributes[name] = value
+            elif (k, v) == ("OP", "("):
+                self.pos -= 1
+                group.groups.append(self.parse_group())
+            else:
+                raise LibertyError(f"unexpected {v!r} in group {kind}")
+        self.expect("OP", "}")
+        return group
+
+    def _parse_value(self):
+        k, v = self.peek()
+        self.pos += 1
+        if k == "NUMBER":
+            return float(v) if any(c in v for c in ".eE") else int(v)
+        if k == "STRING":
+            return v.strip('"')
+        if k == "NAME":
+            return v
+        raise LibertyError(f"bad attribute value {v!r}")
+
+
+def parse_liberty(text: str) -> TechLibrary:
+    """Parse liberty ``text`` into a :class:`TechLibrary`."""
+    parser = _LibertyParser(_lex(text))
+    root = parser.parse_group()
+    if root.kind != "library":
+        raise LibertyError("top-level group must be 'library'")
+    cells = []
+    for cell_group in root.all("cell"):
+        attrs = cell_group.attributes
+        out_pin = None
+        input_cap = 0.0
+        for pin in cell_group.all("pin"):
+            if pin.attributes.get("direction") == "output":
+                out_pin = pin
+            elif pin.attributes.get("direction") == "input":
+                input_cap = float(pin.attributes.get("capacitance", 1.0))
+        if out_pin is None:
+            raise LibertyError(f"cell {cell_group.arg} has no output pin")
+        cells.append(
+            LibCell(
+                name=cell_group.arg,
+                function=str(attrs.get("function_class", "BUF")),
+                drive=int(attrs.get("drive_strength", 1)),
+                area=float(attrs.get("area", 1.0)),
+                input_cap=input_cap,
+                drive_res=float(out_pin.attributes.get("drive_resistance", 4.0)),
+                intrinsic=float(out_pin.attributes.get("intrinsic_delay", 0.02)),
+                leakage=float(attrs.get("cell_leakage_power", 0.0)),
+                setup=float(attrs.get("setup_time", 0.0)),
+                clk_to_q=float(attrs.get("clk_to_q", 0.0)),
+            )
+        )
+    return TechLibrary(root.arg, cells)
+
+
+def write_liberty(library: TechLibrary) -> str:
+    """Serialize ``library`` to liberty text (parseable by this module)."""
+    lines = [f"library ({library.name}) {{"]
+    for cell in library.cells():
+        lines.append(f"  cell ({cell.name}) {{")
+        lines.append(f"    area : {cell.area};")
+        lines.append(f"    cell_leakage_power : {cell.leakage};")
+        lines.append(f'    function_class : "{cell.function}";')
+        lines.append(f"    drive_strength : {cell.drive};")
+        if cell.is_sequential:
+            lines.append(f"    setup_time : {cell.setup};")
+            lines.append(f"    clk_to_q : {cell.clk_to_q};")
+        lines.append("    pin (o) {")
+        lines.append("      direction : output;")
+        lines.append(f"      drive_resistance : {cell.drive_res};")
+        lines.append(f"      intrinsic_delay : {cell.intrinsic};")
+        lines.append("    }")
+        lines.append("    pin (a) {")
+        lines.append("      direction : input;")
+        lines.append(f"      capacitance : {cell.input_cap};")
+        lines.append("    }")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

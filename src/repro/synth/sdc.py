@@ -1,0 +1,63 @@
+"""Design constraints (SDC-style) consumed by the timing engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Constraints"]
+
+
+@dataclass
+class Constraints:
+    """Timing and design-rule constraints for one synthesis run.
+
+    Attributes:
+        clock_period: ns; paths are timed against this (required time).
+        clock_name: the clock's logical name.
+        clock_port: the primary-input net the clock arrives on.
+        input_delay: external arrival time added to primary inputs, ns.
+        output_delay: external required-time margin at primary outputs, ns.
+        max_area: area target in um^2 (0 = unconstrained, DC convention).
+        max_fanout: design-rule fanout limit (None = unconstrained).
+        clock_uncertainty: ns subtracted from the required time.
+        input_drive_res: drive resistance assumed for external drivers of
+            primary inputs (kOhm); makes input-net load cost real delay.
+        per_input_delay / per_output_delay: port-specific overrides.
+    """
+
+    clock_period: float = 1.0
+    clock_name: str = "clk"
+    clock_port: str | None = None
+    input_delay: float = 0.0
+    output_delay: float = 0.0
+    max_area: float | None = None
+    max_fanout: int | None = None
+    clock_uncertainty: float = 0.0
+    input_drive_res: float = 4.0
+    per_input_delay: dict[str, float] = field(default_factory=dict)
+    per_output_delay: dict[str, float] = field(default_factory=dict)
+
+    def arrival_offset(self, input_net: str) -> float:
+        return self.per_input_delay.get(input_net, self.input_delay)
+
+    def required_margin(self, output_net: str) -> float:
+        return self.per_output_delay.get(output_net, self.output_delay)
+
+    @property
+    def effective_period(self) -> float:
+        return self.clock_period - self.clock_uncertainty
+
+    def copy(self) -> "Constraints":
+        return Constraints(
+            clock_period=self.clock_period,
+            clock_name=self.clock_name,
+            clock_port=self.clock_port,
+            input_delay=self.input_delay,
+            output_delay=self.output_delay,
+            max_area=self.max_area,
+            max_fanout=self.max_fanout,
+            clock_uncertainty=self.clock_uncertainty,
+            input_drive_res=self.input_drive_res,
+            per_input_delay=dict(self.per_input_delay),
+            per_output_delay=dict(self.per_output_delay),
+        )

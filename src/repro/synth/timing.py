@@ -1,0 +1,271 @@
+"""Static timing analysis over mapped (or generic) netlists.
+
+Single-corner setup analysis with ideal clocks:
+
+* launch points: primary inputs (arrival = input delay) and DFF outputs
+  (arrival = clk-to-q);
+* propagation: ``arrival(out) = max(arrival(in)) + delay(cell, load)`` in
+  topological order, with net loads from sink pin capacitance plus the
+  wireload model;
+* endpoints: DFF data pins (required = period - setup) and primary outputs
+  (required = period - output delay).
+
+Metrics follow the paper's Table III/IV columns: **CPS** is the slack of
+the most critical path (may be positive), **WNS** is the worst *negative*
+slack (0.0 when timing is met), **TNS** sums negative endpoint slacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hdl.netlist import Cell, Netlist
+from .library import LibCell, TechLibrary
+from .sdc import Constraints
+from .wireload import WireLoadModel
+
+__all__ = ["PathPoint", "TimingPath", "TimingReport", "TimingEngine"]
+
+
+@dataclass(frozen=True)
+class PathPoint:
+    """One hop on a timing path."""
+
+    cell: str  # cell name, or "<port>" for launch/capture ports
+    net: str
+    incr: float
+    arrival: float
+
+
+@dataclass
+class TimingPath:
+    """A startpoint->endpoint data path with its timing verdict."""
+
+    startpoint: str
+    endpoint: str
+    points: list[PathPoint] = field(default_factory=list)
+    arrival: float = 0.0
+    required: float = 0.0
+
+    @property
+    def slack(self) -> float:
+        return self.required - self.arrival
+
+    @property
+    def depth(self) -> int:
+        return len(self.points)
+
+
+@dataclass
+class TimingReport:
+    """Design-level timing summary."""
+
+    wns: float
+    cps: float
+    tns: float
+    num_endpoints: int
+    num_violations: int
+    critical_path: TimingPath | None
+    endpoint_slacks: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def met(self) -> bool:
+        return self.num_violations == 0
+
+
+class TimingEngine:
+    """Setup-time STA for one netlist under one set of constraints."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: TechLibrary,
+        wireload: WireLoadModel,
+        constraints: Constraints,
+    ) -> None:
+        self.netlist = netlist
+        self.library = library
+        self.wireload = wireload
+        self.constraints = constraints
+
+    # -- electrical model ---------------------------------------------------------
+
+    def _bound_cell(self, cell: Cell) -> LibCell:
+        if cell.lib_cell is not None and cell.lib_cell in self.library:
+            return self.library.cell(cell.lib_cell)
+        return self.library.weakest(cell.gate)
+
+    def net_load(self, net_name: str) -> float:
+        """Total load in fF: sink pin caps + wireload estimate."""
+        net = self.netlist.nets[net_name]
+        pin_cap = 0.0
+        fanout = 0
+        for sink_name in net.sinks:
+            sink = self.netlist.cells[sink_name]
+            lib = self._bound_cell(sink)
+            pins = sink.inputs.count(net_name)
+            if sink.attrs.get("clock") == net_name:
+                pins += 1
+            pin_cap += pins * lib.input_cap
+            fanout += pins
+        if net.is_output:
+            fanout += 1
+            pin_cap += 2.0  # assumed external pin load
+        return pin_cap + self.wireload.capacitance(fanout)
+
+    def cell_delay(self, cell: Cell) -> float:
+        """Delay of ``cell`` driving its output net."""
+        if cell.gate in ("CONST0", "CONST1"):
+            return 0.0
+        lib = self._bound_cell(cell)
+        if cell.is_sequential:
+            return lib.clk_to_q + lib.drive_res * self.net_load(cell.output) / 1000.0
+        return lib.delay(self.net_load(cell.output))
+
+    # -- analysis --------------------------------------------------------------------
+
+    def _is_clock_net(self, net_name: str) -> bool:
+        net = self.netlist.nets[net_name]
+        if self.constraints.clock_port is not None:
+            return net_name == self.constraints.clock_port
+        return net.is_clock
+
+    def analyze(self, with_paths: bool = True) -> TimingReport:
+        """Run STA; returns the design-level :class:`TimingReport`."""
+        arrivals: dict[str, float] = {}
+        predecessor: dict[str, tuple[str, str] | None] = {}
+
+        for name in self.netlist.primary_inputs:
+            if self._is_clock_net(name):
+                continue
+            # The external driver is not free: charge its drive resistance
+            # against the input net's load so port fanout costs delay.
+            drive = self.constraints.input_drive_res * self.net_load(name) / 1000.0
+            arrivals[name] = self.constraints.arrival_offset(name) + drive
+            predecessor[name] = None
+        for cell in self.netlist.cells.values():
+            if cell.is_sequential:
+                arrivals[cell.output] = self.cell_delay(cell)
+                predecessor[cell.output] = None
+            elif cell.gate in ("CONST0", "CONST1"):
+                arrivals[cell.output] = 0.0
+                predecessor[cell.output] = None
+
+        for cell in self.netlist.topological_cells():
+            if cell.gate in ("CONST0", "CONST1"):
+                continue
+            worst_in = None
+            worst_arrival = 0.0
+            for net_in in cell.inputs:
+                arr = arrivals.get(net_in, 0.0)
+                if worst_in is None or arr > worst_arrival:
+                    worst_in, worst_arrival = net_in, arr
+            delay = self.cell_delay(cell)
+            arrivals[cell.output] = worst_arrival + delay
+            predecessor[cell.output] = (cell.name, worst_in) if worst_in else None
+
+        period = self.constraints.effective_period
+        endpoint_slacks: dict[str, float] = {}
+        endpoint_required: dict[str, float] = {}
+        endpoint_net: dict[str, str] = {}
+        for name in self.netlist.primary_outputs:
+            required = period - self.constraints.required_margin(name)
+            arrival = arrivals.get(name, 0.0)
+            endpoint_slacks[f"out:{name}"] = required - arrival
+            endpoint_required[f"out:{name}"] = required
+            endpoint_net[f"out:{name}"] = name
+        for cell in self.netlist.cells.values():
+            if not cell.is_sequential:
+                continue
+            lib = self._bound_cell(cell)
+            data_net = cell.inputs[0]
+            required = period - lib.setup
+            arrival = arrivals.get(data_net, 0.0)
+            key = f"reg:{cell.name}"
+            endpoint_slacks[key] = required - arrival
+            endpoint_required[key] = required
+            endpoint_net[key] = data_net
+
+        if not endpoint_slacks:
+            return TimingReport(
+                wns=0.0, cps=0.0, tns=0.0, num_endpoints=0,
+                num_violations=0, critical_path=None,
+            )
+
+        worst_key = min(endpoint_slacks, key=endpoint_slacks.get)
+        cps = endpoint_slacks[worst_key]
+        wns = min(cps, 0.0)
+        tns = sum(min(s, 0.0) for s in endpoint_slacks.values())
+        violations = sum(1 for s in endpoint_slacks.values() if s < 0)
+
+        critical = None
+        if with_paths:
+            critical = self._trace_path(
+                endpoint_net[worst_key],
+                worst_key,
+                arrivals,
+                predecessor,
+                endpoint_required[worst_key],
+            )
+        return TimingReport(
+            wns=round(wns, 4),
+            cps=round(cps, 4),
+            tns=round(tns, 4),
+            num_endpoints=len(endpoint_slacks),
+            num_violations=violations,
+            critical_path=critical,
+            endpoint_slacks=endpoint_slacks,
+        )
+
+    def _trace_path(
+        self,
+        end_net: str,
+        endpoint: str,
+        arrivals: dict[str, float],
+        predecessor: dict[str, tuple[str, str] | None],
+        required: float,
+    ) -> TimingPath:
+        points: list[PathPoint] = []
+        net = end_net
+        while True:
+            pred = predecessor.get(net)
+            arrival = arrivals.get(net, 0.0)
+            if pred is None:
+                points.append(PathPoint(cell="<launch>", net=net, incr=arrival, arrival=arrival))
+                break
+            cell_name, prev_net = pred
+            incr = arrival - arrivals.get(prev_net, 0.0)
+            points.append(PathPoint(cell=cell_name, net=net, incr=incr, arrival=arrival))
+            net = prev_net
+        points.reverse()
+        return TimingPath(
+            startpoint=points[0].net,
+            endpoint=endpoint,
+            points=points,
+            arrival=arrivals.get(end_net, 0.0),
+            required=required,
+        )
+
+    # -- aggregate metrics used by reports/power -----------------------------------------
+
+    def total_area(self) -> float:
+        return sum(
+            self._bound_cell(c).area
+            for c in self.netlist.cells.values()
+            if c.gate not in ("CONST0", "CONST1")
+        )
+
+    def total_leakage(self) -> float:
+        """Leakage power in nW."""
+        return sum(
+            self._bound_cell(c).leakage
+            for c in self.netlist.cells.values()
+            if c.gate not in ("CONST0", "CONST1")
+        )
+
+    def dynamic_power(self, activity: float = 0.1, voltage: float = 1.1) -> float:
+        """Switching power estimate in uW: alpha * C * V^2 * f."""
+        total_cap_ff = sum(self.net_load(n) for n in self.netlist.nets)
+        freq_ghz = 1.0 / max(self.constraints.clock_period, 1e-9)
+        # fF * V^2 * GHz = uW
+        return activity * total_cap_ff * voltage**2 * freq_ghz

@@ -1,0 +1,66 @@
+"""Wireload models: pre-layout net capacitance estimation.
+
+A wireload model maps a net's fanout count to estimated wire capacitance
+(fF).  The paper's experiments use the ``5K_heavy_1k`` model from the
+Nangate kit; we provide it plus lighter/heavier siblings for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WireLoadModel", "WIRELOAD_MODELS", "get_wireload"]
+
+
+@dataclass(frozen=True)
+class WireLoadModel:
+    """Piecewise-linear fanout -> wire capacitance model.
+
+    Attributes:
+        name: model name as referenced in synthesis scripts.
+        table: capacitance (fF) for fanout = 1..len(table).
+        slope: extrapolation slope (fF per extra fanout) past the table.
+    """
+
+    name: str
+    table: tuple[float, ...]
+    slope: float
+
+    def capacitance(self, fanout: int) -> float:
+        """Estimated wire capacitance in fF for a net with ``fanout`` sinks."""
+        if fanout <= 0:
+            return 0.0
+        if fanout <= len(self.table):
+            return self.table[fanout - 1]
+        extra = fanout - len(self.table)
+        return self.table[-1] + self.slope * extra
+
+
+WIRELOAD_MODELS = {
+    "5K_hvratio_1_1": WireLoadModel(
+        name="5K_hvratio_1_1",
+        table=(1.1, 2.3, 3.6, 5.0, 6.4, 7.9, 9.4, 11.0),
+        slope=1.6,
+    ),
+    "5K_heavy_1k": WireLoadModel(
+        name="5K_heavy_1k",
+        table=(1.7, 3.5, 5.4, 7.5, 9.7, 12.0, 14.4, 16.9),
+        slope=2.5,
+    ),
+    "10K_heavy_2k": WireLoadModel(
+        name="10K_heavy_2k",
+        table=(2.4, 5.0, 7.8, 10.8, 14.0, 17.3, 20.8, 24.4),
+        slope=3.6,
+    ),
+    "zero": WireLoadModel(name="zero", table=(0.0,), slope=0.0),
+}
+
+
+def get_wireload(name: str) -> WireLoadModel:
+    """Look up a wireload model by name."""
+    try:
+        return WIRELOAD_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown wireload model {name!r}; known: {sorted(WIRELOAD_MODELS)}"
+        ) from None

@@ -1,0 +1,85 @@
+"""Feature-hashing text embedder (the ``text-embedding-3-large`` substitute).
+
+Deterministic and fully offline: each word and subword n-gram is hashed to a
+signed dimension (the "hashing trick"), optionally weighted by IDF learned
+from a corpus.  Two texts sharing vocabulary land near each other in cosine
+space, which is the property SynthRAG's manual retrieval needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+from .tokenizer import char_ngrams, word_tokens
+
+__all__ = ["HashingEmbedder"]
+
+
+def _hash_token(token: str, salt: str = "") -> int:
+    digest = hashlib.blake2b(f"{salt}:{token}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashingEmbedder:
+    """Embed text into a fixed-dimensional vector via feature hashing.
+
+    Args:
+        dim: embedding dimensionality.
+        use_subwords: also hash character n-grams, improving robustness to
+            morphology (``retime``/``retiming``) and hyphenation.
+        subword_weight: relative weight of subword features vs words.
+    """
+
+    def __init__(
+        self,
+        dim: int = 256,
+        use_subwords: bool = True,
+        subword_weight: float = 0.3,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.use_subwords = use_subwords
+        self.subword_weight = subword_weight
+        self._idf: dict[str, float] | None = None
+
+    def fit_idf(self, corpus: list[str]) -> "HashingEmbedder":
+        """Learn IDF weights from ``corpus`` (one string per document)."""
+        doc_freq: dict[str, int] = {}
+        for doc in corpus:
+            for token in set(word_tokens(doc)):
+                doc_freq[token] = doc_freq.get(token, 0) + 1
+        n = max(len(corpus), 1)
+        self._idf = {
+            token: math.log((1 + n) / (1 + freq)) + 1.0
+            for token, freq in doc_freq.items()
+        }
+        return self
+
+    def _token_weight(self, token: str) -> float:
+        if self._idf is None:
+            return 1.0
+        return self._idf.get(token, math.log(1 + len(self._idf)) + 1.0)
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one text; the result is L2-normalized (or zero if empty)."""
+        vec = np.zeros(self.dim)
+        tokens = word_tokens(text)
+        for token in tokens:
+            weight = self._token_weight(token)
+            h = _hash_token(token)
+            sign = 1.0 if (h >> 1) & 1 else -1.0
+            vec[h % self.dim] += sign * weight
+            if self.use_subwords:
+                for gram in char_ngrams(token):
+                    hg = _hash_token(gram, salt="sub")
+                    sign_g = 1.0 if (hg >> 1) & 1 else -1.0
+                    vec[hg % self.dim] += sign_g * weight * self.subword_weight
+        norm = np.linalg.norm(vec)
+        return vec / norm if norm > 0 else vec
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        return np.vstack([self.embed(t) for t in texts]) if texts else np.empty((0, self.dim))

@@ -1,0 +1,71 @@
+"""Sparse TF-IDF vectorizer with cosine ranking (BM25-adjacent baseline).
+
+Used by SynthRAG ablations to compare hashing embeddings against a
+classical lexical retriever (paper cites BM25 [33] as the conventional
+reranking baseline).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .tokenizer import word_tokens
+
+__all__ = ["TfidfModel"]
+
+
+class TfidfModel:
+    """Fit on a corpus, then rank documents against queries by cosine."""
+
+    def __init__(self) -> None:
+        self.vocabulary: dict[str, int] = {}
+        self._idf: np.ndarray | None = None
+        self._doc_matrix: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._doc_matrix is not None
+
+    def fit(self, corpus: list[str]) -> "TfidfModel":
+        if not corpus:
+            raise ValueError("corpus must not be empty")
+        docs_tokens = [word_tokens(doc) for doc in corpus]
+        for tokens in docs_tokens:
+            for token in tokens:
+                self.vocabulary.setdefault(token, len(self.vocabulary))
+        vocab_size = len(self.vocabulary)
+        doc_freq = np.zeros(vocab_size)
+        for tokens in docs_tokens:
+            for token in set(tokens):
+                doc_freq[self.vocabulary[token]] += 1
+        n = len(corpus)
+        self._idf = np.log((1 + n) / (1 + doc_freq)) + 1.0
+        self._doc_matrix = np.vstack(
+            [self._vectorize(tokens) for tokens in docs_tokens]
+        )
+        return self
+
+    def _vectorize(self, tokens: list[str]) -> np.ndarray:
+        vec = np.zeros(len(self.vocabulary))
+        for token in tokens:
+            idx = self.vocabulary.get(token)
+            if idx is not None:
+                vec[idx] += 1.0
+        if vec.sum() > 0:
+            vec = (vec / vec.sum()) * self._idf
+        norm = np.linalg.norm(vec)
+        return vec / norm if norm > 0 else vec
+
+    def transform(self, text: str) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("fit the model before transform")
+        return self._vectorize(word_tokens(text))
+
+    def rank(self, query: str, k: int = 5) -> list[tuple[int, float]]:
+        """Top-``k`` (document index, cosine score) pairs for ``query``."""
+        q = self.transform(query)
+        scores = self._doc_matrix @ q
+        order = np.argsort(-scores)[:k]
+        return [(int(i), float(scores[i])) for i in order]

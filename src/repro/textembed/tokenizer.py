@@ -1,0 +1,36 @@
+"""Tokenization for the offline text embedder."""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["word_tokens", "char_ngrams", "STOPWORDS"]
+
+_WORD_RE = re.compile(r"[a-z0-9_]+")
+
+#: Tiny English stopword list tuned for tool-manual prose.
+STOPWORDS = frozenset(
+    {
+        "a", "an", "and", "are", "as", "at", "be", "by", "can", "for",
+        "from", "has", "have", "if", "in", "is", "it", "its", "may", "of",
+        "on", "or", "that", "the", "this", "to", "when", "which", "will",
+        "with", "you", "your",
+    }
+)
+
+
+def word_tokens(text: str, drop_stopwords: bool = True) -> list[str]:
+    """Lowercased word tokens; underscores kept so command names survive."""
+    tokens = _WORD_RE.findall(text.lower())
+    if drop_stopwords:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    return tokens
+
+
+def char_ngrams(token: str, n_min: int = 3, n_max: int = 5) -> list[str]:
+    """Character n-grams with boundary markers (fastText-style subwords)."""
+    marked = f"<{token}>"
+    grams = []
+    for n in range(n_min, n_max + 1):
+        grams.extend(marked[i : i + n] for i in range(len(marked) - n + 1))
+    return grams

@@ -1,0 +1,13 @@
+"""Vector similarity-search indexes (the FAISS substitute, paper [51]).
+
+:class:`FlatIndex` performs exact nearest-neighbour search; :class:`IVFIndex`
+is an inverted-file index with k-means coarse quantization for sub-linear
+probing.  Both support cosine, inner-product and L2 metrics and store an
+arbitrary payload per vector.
+"""
+
+from .flat import FlatIndex, SearchResult
+from .ivf import IVFIndex
+from .metrics import METRICS, pairwise_scores
+
+__all__ = ["FlatIndex", "IVFIndex", "SearchResult", "METRICS", "pairwise_scores"]

@@ -1,0 +1,103 @@
+"""Exact (brute-force) nearest-neighbour index."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from .metrics import pairwise_scores
+
+__all__ = ["SearchResult", "FlatIndex"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One nearest-neighbour hit."""
+
+    key: Any
+    score: float
+    payload: Any
+
+
+class FlatIndex:
+    """Exact nearest-neighbour search over dense vectors.
+
+    Vectors are added with a hashable ``key`` and an optional ``payload``
+    (any object — SynthRAG stores strategy records here).  ``search``
+    returns the top-k entries by the chosen metric, largest score first.
+    """
+
+    def __init__(self, dim: int, metric: str = "cosine") -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.metric = metric
+        self._keys: list[Any] = []
+        self._payloads: list[Any] = []
+        self._rows: list[np.ndarray] = []
+        self._matrix: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._keys
+
+    def add(self, key: Any, vector: Sequence[float], payload: Any = None) -> None:
+        """Insert one vector; duplicate keys are rejected."""
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vector.shape[0]}")
+        if key in self._keys:
+            raise ValueError(f"duplicate key {key!r}")
+        self._keys.append(key)
+        self._payloads.append(payload)
+        self._rows.append(vector)
+        self._matrix = None
+
+    def add_batch(
+        self,
+        keys: Sequence[Any],
+        vectors: np.ndarray,
+        payloads: Sequence[Any] | None = None,
+    ) -> None:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        payloads = payloads if payloads is not None else [None] * len(keys)
+        for key, vec, payload in zip(keys, vectors, payloads):
+            self.add(key, vec, payload)
+
+    def remove(self, key: Any) -> None:
+        idx = self._keys.index(key)
+        del self._keys[idx], self._payloads[idx], self._rows[idx]
+        self._matrix = None
+
+    def get_vector(self, key: Any) -> np.ndarray:
+        return self._rows[self._keys.index(key)].copy()
+
+    def _database(self) -> np.ndarray:
+        if self._matrix is None:
+            self._matrix = (
+                np.vstack(self._rows) if self._rows else np.empty((0, self.dim))
+            )
+        return self._matrix
+
+    def search(self, query: Sequence[float], k: int = 5) -> list[SearchResult]:
+        """Top-``k`` entries closest to ``query`` (largest score first)."""
+        if not self._keys:
+            return []
+        query = np.asarray(query, dtype=np.float64).reshape(1, -1)
+        if query.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {query.shape[1]}")
+        scores = pairwise_scores(query, self._database(), self.metric)[0]
+        k = min(k, len(scores))
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top])]
+        return [
+            SearchResult(key=self._keys[i], score=float(scores[i]), payload=self._payloads[i])
+            for i in top
+        ]
+
+    def search_batch(self, queries: np.ndarray, k: int = 5) -> list[list[SearchResult]]:
+        return [self.search(q, k) for q in np.atleast_2d(queries)]

@@ -1,0 +1,128 @@
+"""Inverted-file (IVF) approximate nearest-neighbour index.
+
+Vectors are partitioned into ``nlist`` cells by k-means; a query probes the
+``nprobe`` closest cells only.  With ``nprobe == nlist`` the index is exact
+and matches :class:`~repro.vectorstore.flat.FlatIndex` — a property the test
+suite exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .flat import SearchResult
+from .metrics import normalize, pairwise_scores
+
+__all__ = ["IVFIndex"]
+
+
+def _kmeans(
+    data: np.ndarray, k: int, rng: np.random.Generator, iters: int = 25
+) -> np.ndarray:
+    """Plain Lloyd's k-means; returns the centroid matrix."""
+    k = min(k, len(data))
+    centroids = data[rng.choice(len(data), size=k, replace=False)].copy()
+    for _ in range(iters):
+        dists = -pairwise_scores(data, centroids, "l2")
+        assign = np.argmin(dists, axis=1)
+        moved = False
+        for c in range(k):
+            members = data[assign == c]
+            if len(members) == 0:
+                continue
+            new_centroid = members.mean(axis=0)
+            if not np.allclose(new_centroid, centroids[c]):
+                centroids[c] = new_centroid
+                moved = True
+        if not moved:
+            break
+    return centroids
+
+
+class IVFIndex:
+    """IVF index with k-means coarse quantizer.
+
+    Build with :meth:`train` + :meth:`add` (or just :meth:`add`, which
+    triggers lazy training on first search).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        nlist: int = 16,
+        nprobe: int = 4,
+        metric: str = "cosine",
+        seed: int = 0,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if nprobe <= 0 or nlist <= 0:
+            raise ValueError("nlist and nprobe must be positive")
+        self.dim = dim
+        self.nlist = nlist
+        self.nprobe = min(nprobe, nlist)
+        self.metric = metric
+        self._rng = np.random.default_rng(seed)
+        self._keys: list[Any] = []
+        self._payloads: list[Any] = []
+        self._rows: list[np.ndarray] = []
+        self._centroids: np.ndarray | None = None
+        self._cells: list[list[int]] | None = None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: Any, vector: Sequence[float], payload: Any = None) -> None:
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vector.shape[0]}")
+        self._keys.append(key)
+        self._payloads.append(payload)
+        self._rows.append(vector)
+        self._centroids = None  # retrain lazily
+        self._cells = None
+
+    def train(self) -> None:
+        """(Re)build the coarse quantizer and cell assignments."""
+        if not self._rows:
+            raise ValueError("cannot train an empty index")
+        data = np.vstack(self._rows)
+        if self.metric == "cosine":
+            data = normalize(data)
+        self._centroids = _kmeans(data, self.nlist, self._rng)
+        assign = np.argmax(pairwise_scores(data, self._centroids, "l2"), axis=1)
+        self._cells = [[] for _ in range(len(self._centroids))]
+        for idx, cell in enumerate(assign):
+            self._cells[cell].append(idx)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._centroids is not None
+
+    def search(self, query: Sequence[float], k: int = 5) -> list[SearchResult]:
+        if not self._rows:
+            return []
+        if not self.is_trained:
+            self.train()
+        query = np.asarray(query, dtype=np.float64).reshape(1, -1)
+        if query.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {query.shape[1]}")
+        probe_query = normalize(query) if self.metric == "cosine" else query
+        cell_scores = pairwise_scores(probe_query, self._centroids, "l2")[0]
+        probe = np.argsort(-cell_scores)[: self.nprobe]
+        candidates = [idx for cell in probe for idx in self._cells[cell]]
+        if not candidates:
+            return []
+        matrix = np.vstack([self._rows[i] for i in candidates])
+        scores = pairwise_scores(query, matrix, self.metric)[0]
+        order = np.argsort(-scores)[: min(k, len(candidates))]
+        return [
+            SearchResult(
+                key=self._keys[candidates[i]],
+                score=float(scores[i]),
+                payload=self._payloads[candidates[i]],
+            )
+            for i in order
+        ]

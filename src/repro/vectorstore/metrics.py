@@ -1,0 +1,51 @@
+"""Similarity/distance metrics shared by the vector indexes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["METRICS", "pairwise_scores", "normalize"]
+
+
+def normalize(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalize rows; zero rows are left as zeros."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return matrix / norms
+
+
+def _cosine(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+    return normalize(queries) @ normalize(database).T
+
+
+def _inner_product(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+    return np.asarray(queries, dtype=np.float64) @ np.asarray(database, dtype=np.float64).T
+
+
+def _neg_l2(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+    queries = np.asarray(queries, dtype=np.float64)
+    database = np.asarray(database, dtype=np.float64)
+    q2 = np.sum(queries**2, axis=1, keepdims=True)
+    d2 = np.sum(database**2, axis=1)
+    sq = np.maximum(q2 + d2 - 2.0 * queries @ database.T, 0.0)
+    return -np.sqrt(sq)
+
+
+#: Score functions; larger is always better (L2 is negated).
+METRICS = {
+    "cosine": _cosine,
+    "ip": _inner_product,
+    "l2": _neg_l2,
+}
+
+
+def pairwise_scores(
+    queries: np.ndarray, database: np.ndarray, metric: str = "cosine"
+) -> np.ndarray:
+    """Score matrix of shape (num_queries, num_database); larger = closer."""
+    if metric not in METRICS:
+        raise ValueError(f"unknown metric {metric!r}; choose from {sorted(METRICS)}")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    database = np.atleast_2d(np.asarray(database, dtype=np.float64))
+    return METRICS[metric](queries, database)

@@ -1,0 +1,13 @@
+"""Suite-wide configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# No on-disk example database: interrupted runs otherwise leave behind
+# thousands of saved examples whose replay dwarfs the tests themselves.
+settings.register_profile(
+    "repro",
+    database=None,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

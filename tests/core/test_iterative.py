@@ -1,0 +1,118 @@
+"""Tests for iterative customization and the incremental compile path."""
+
+import pytest
+
+from repro.core import ChatLS
+from repro.core.chatls import _extend_script
+from repro.designs.chipyard import generate_family_variant
+from repro.designs.database import ExpertDatabase
+from repro.mentor import CircuitEncoder
+from repro.synth import DCShell
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    db = ExpertDatabase(CircuitEncoder(seed=0))
+    db.add_design(
+        generate_family_variant("rocket", 0),
+        strategies=["baseline_compile", "ultra_retime"],
+    )
+    return db
+
+
+class TestExtendScript:
+    def test_appends_refinement_before_reports(self):
+        script = "read_verilog x\ncompile\nreport_qor"
+        extended = _extend_script(script)
+        lines = extended.splitlines()
+        assert lines[-1] == "report_qor"
+        assert "compile -incremental" in lines
+        assert lines.index("compile -incremental") < lines.index("report_qor")
+
+    def test_idempotent_structure(self):
+        script = "read_verilog x\ncompile\nreport_qor"
+        twice = _extend_script(_extend_script(script))
+        assert twice.count("compile -incremental") == 2
+        assert twice.splitlines()[-1] == "report_qor"
+
+
+class TestIncrementalCompile:
+    DESIGN = """
+    module pipe(input clk, input [9:0] a, b, output reg [9:0] q);
+      reg [9:0] s;
+      reg [19:0] m;
+      always @(posedge clk) begin
+        s <= a + b;
+        m <= s * b;
+        q <= m[9:0] ^ m[19:10];
+      end
+    endmodule
+    """
+
+    def test_incremental_requires_prior_compile_state(self):
+        shell = DCShell()
+        shell.add_design("pipe", self.DESIGN)
+        # -incremental before any compile falls back to a full compile.
+        result = shell.run_script(
+            "read_verilog pipe\ncreate_clock -period 2.0 clk\ncompile -incremental"
+        )
+        assert result.success
+        assert result.qor is not None
+
+    def test_incremental_never_regresses(self):
+        base_script = (
+            "read_verilog pipe\nset_wire_load_model -name 5K_heavy_1k\n"
+            "create_clock -period 2.0 clk\ncompile_ultra -retime"
+        )
+        shell = DCShell()
+        shell.add_design("pipe", self.DESIGN)
+        first = shell.run_script(base_script)
+        shell2 = DCShell()
+        shell2.add_design("pipe", self.DESIGN)
+        second = shell2.run_script(base_script + "\ncompile -incremental")
+        assert second.qor.wns >= first.qor.wns - 1e-9
+
+    def test_pass_log_records_incremental(self):
+        shell = DCShell()
+        shell.add_design("pipe", self.DESIGN)
+        shell.run_script(
+            "read_verilog pipe\ncreate_clock -period 2.0 clk\n"
+            "compile\ncompile -incremental"
+        )
+        assert "compile -incremental" in shell.pass_log
+
+
+class TestIterativeFacade:
+    DESIGN = """
+    module it(input clk, input [7:0] a, b, output reg [7:0] y);
+      reg [7:0] s;
+      always @(posedge clk) begin
+        s <= a + b;
+        y <= s ^ {s[3:0], s[7:4]};
+      end
+    endmodule
+    """
+    SCRIPT = (
+        "read_verilog it\nset_wire_load_model -name 5K_heavy_1k\n"
+        "create_clock -period 0.9 clk\ncompile\nreport_qor"
+    )
+
+    def test_history_non_regressing(self, tiny_db):
+        chatls = ChatLS(tiny_db)
+        history = chatls.customize_iteratively(
+            self.DESIGN, "it", self.SCRIPT, "optimize timing",
+            rounds=3, k=2, clock_period=0.9,
+        )
+        assert history
+        wns = [h.qor.wns for h in history if h.qor]
+        for earlier, later in zip(wns, wns[1:]):
+            assert later >= earlier - 1e-9
+
+    def test_stops_when_met(self, tiny_db):
+        chatls = ChatLS(tiny_db)
+        history = chatls.customize_iteratively(
+            self.DESIGN, "it", self.SCRIPT.replace("0.9", "9.0"),
+            "optimize timing", rounds=4, k=1, clock_period=9.0,
+        )
+        assert len(history) == 1  # already met after round one
+        assert history[0].qor.wns >= 0

@@ -1,0 +1,83 @@
+"""Tests for the seven evaluation benchmarks."""
+
+import pytest
+
+from repro.designs.opencores import benchmark_names, get_benchmark
+from repro.hdl import elaborate
+from repro.synth import DCShell
+
+
+class TestBenchmarkCatalog:
+    def test_seven_designs_in_paper_order(self):
+        assert benchmark_names() == [
+            "aes",
+            "dynamic_node",
+            "ethmac",
+            "jpeg",
+            "riscv32i",
+            "swerv",
+            "tinyRocket",
+        ]
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("cray1")
+
+    def test_cached_instances(self):
+        assert get_benchmark("aes") is get_benchmark("aes")
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_elaborates_clean(self, name):
+        bench = get_benchmark(name)
+        netlist = elaborate(bench.verilog, bench.top)
+        netlist.validate()
+        assert netlist.num_cells > 100
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_has_clock_and_description(self, name):
+        bench = get_benchmark(name)
+        assert bench.clock_period > 0
+        assert bench.description
+        assert bench.pathologies
+
+
+class TestBaselineShape:
+    """The compile-only baseline must land in Table IV's regime."""
+
+    @pytest.fixture(scope="class")
+    def baselines(self):
+        results = {}
+        for name in benchmark_names():
+            bench = get_benchmark(name)
+            shell = DCShell()
+            shell.add_design(bench.name, bench.verilog, top=bench.top)
+            result = shell.run_script(
+                f"read_verilog {bench.name}\n"
+                f"create_clock -period {bench.clock_period} clk\n"
+                "set_wire_load_model -name 5K_heavy_1k\n"
+                "compile\n"
+            )
+            assert result.success, result.error
+            results[name] = result.qor
+        return results
+
+    def test_violated_designs(self, baselines):
+        for name in ("aes", "dynamic_node", "ethmac", "jpeg", "tinyRocket"):
+            assert baselines[name].wns < 0, name
+
+    def test_met_designs(self, baselines):
+        for name in ("riscv32i", "swerv"):
+            assert baselines[name].wns == 0.0, name
+            assert baselines[name].cps > 0, name
+
+    def test_size_order_swerv_largest_riscv_smallest(self, baselines):
+        areas = sorted(baselines.items(), key=lambda kv: kv[1].area, reverse=True)
+        top_two = {name for name, _ in areas[:2]}
+        assert "swerv" in top_two
+        assert areas[-1][0] in ("riscv32i", "dynamic_node", "tinyRocket")
+
+    def test_ethmac_badly_violated(self, baselines):
+        assert baselines["ethmac"].tns < baselines["aes"].tns
+
+    def test_aes_marginally_violated(self, baselines):
+        assert -0.5 < baselines["aes"].wns < 0

@@ -1,0 +1,71 @@
+"""Tests for the experiment harness (small-scale runs)."""
+
+import pytest
+
+from repro.designs.database import build_default_database
+from repro.eval.harness import (
+    baseline_script,
+    run_fig4_metric_learning,
+    run_table3_customization,
+    run_table4_baseline,
+)
+
+
+class TestTable4Harness:
+    def test_subset_run(self):
+        result = run_table4_baseline(designs=["riscv32i"])
+        assert "riscv32i" in result.rows
+        assert result.rows["riscv32i"].wns == 0.0
+        assert "report_qor" not in result.reports["riscv32i"]  # text, not cmd
+        assert "Critical Path Slack" in result.reports["riscv32i"]
+
+    def test_render_contains_title(self):
+        result = run_table4_baseline(designs=["dynamic_node"])
+        assert "TABLE IV" in result.render()
+
+    def test_baseline_script_structure(self):
+        from repro.designs.opencores import get_benchmark
+
+        bench = get_benchmark("aes")
+        script = baseline_script(bench)
+        lines = script.splitlines()
+        assert lines[0] == "read_verilog aes"
+        assert any(
+            f"create_clock -period {bench.clock_period}" in l for l in lines
+        )
+        assert "compile" in lines
+
+
+class TestTable3Harness:
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        db = build_default_database(
+            variants_per_family=1,
+            strategies=["baseline_compile", "ultra_retime"],
+        )
+        return run_table3_customization(
+            database=db, designs=["dynamic_node"], k=2
+        )
+
+    def test_three_models_present(self, small_result):
+        assert set(small_result.models) == {"GPT-4o", "Claude-3.5", "ChatLS"}
+
+    def test_all_models_have_design_row(self, small_result):
+        for model, rows in small_result.models.items():
+            assert "dynamic_node" in rows, model
+
+    def test_render(self, small_result):
+        text = small_result.render()
+        assert "TABLE III" in text
+        assert "dynamic_node" in text
+
+
+class TestFig4Harness:
+    def test_small_run_separates(self):
+        result = run_fig4_metric_learning(variants_per_family=2, epochs=10)
+        assert result.after["ratio"] <= result.before["ratio"]
+        assert len(result.losses) == 10
+
+    def test_render(self):
+        result = run_fig4_metric_learning(variants_per_family=2, epochs=3)
+        assert "FIG 4" in result.render()

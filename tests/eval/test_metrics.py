@@ -1,0 +1,81 @@
+"""Tests for evaluation metrics and table rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import mean_f1, pass_at_k, precision_recall_f1
+from repro.eval.tables import render_series, render_table
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_retrieval(self):
+        score = precision_recall_f1(["a", "b"], {"a", "b"})
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_total_miss(self):
+        score = precision_recall_f1(["x", "y"], {"a", "b"})
+        assert score.f1 == 0.0
+
+    def test_half_right(self):
+        score = precision_recall_f1(["a", "x"], {"a", "b"})
+        assert score.precision == 0.5
+        assert score.recall == 0.5
+
+    def test_k_truncation(self):
+        score = precision_recall_f1(["a", "x", "b"], {"a", "b"}, k=1)
+        assert score.precision == 1.0
+
+    def test_recall_capped_by_k(self):
+        # 1 of 5 relevant retrieved at k=1 should count as full recall@1.
+        score = precision_recall_f1(["a"], {"a", "b", "c", "d", "e"}, k=1)
+        assert score.recall == 1.0
+
+    def test_empty_retrieval(self):
+        score = precision_recall_f1([], {"a"})
+        assert score.f1 == 0.0
+
+    @given(
+        st.lists(st.sampled_from("abcdef"), max_size=6, unique=True),
+        st.sets(st.sampled_from("abcdef"), max_size=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bounds(self, retrieved, relevant):
+        score = precision_recall_f1(retrieved, relevant)
+        assert 0.0 <= score.precision <= 1.0
+        assert 0.0 <= score.recall <= 1.0
+        assert 0.0 <= score.f1 <= 1.0
+
+    def test_mean_f1(self):
+        scores = [
+            precision_recall_f1(["a"], {"a"}),
+            precision_recall_f1(["x"], {"a"}),
+        ]
+        assert mean_f1(scores) == pytest.approx(0.5)
+
+    def test_mean_f1_empty(self):
+        assert mean_f1([]) == 0.0
+
+
+class TestPassAtK:
+    def test_any_success(self):
+        assert pass_at_k([False, True, False])
+
+    def test_all_fail(self):
+        assert not pass_at_k([False, False])
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table(["A", "Bee"], [["x", 1.5], ["long", 2.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in text
+        assert "2.25" in text
+
+    def test_series(self):
+        text = render_series("f1", [(1, 0.9), (2, 0.85)])
+        assert "1: 0.900" in text
+        assert "2: 0.850" in text

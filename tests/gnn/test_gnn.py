@@ -1,0 +1,246 @@
+"""Tests for the numpy GNN framework, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnn import SGD, Adam, GraphData, GraphSAGE, SAGELayer, mean_adjacency
+
+
+def chain_graph(n=4, dim=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return GraphData(
+        features=rng.normal(size=(n, dim)),
+        edges=[(i, i + 1) for i in range(n - 1)],
+    )
+
+
+class TestAdjacency:
+    def test_rows_sum_to_one(self):
+        adj = mean_adjacency(4, [(0, 1), (1, 2), (2, 3)])
+        np.testing.assert_allclose(adj.sum(axis=1), 1.0)
+
+    def test_undirected_by_default(self):
+        adj = mean_adjacency(2, [(0, 1)], self_loops=False)
+        assert adj[0, 1] > 0 and adj[1, 0] > 0
+
+    def test_directed(self):
+        adj = mean_adjacency(2, [(0, 1)], directed=True, self_loops=False)
+        assert adj[1, 0] > 0 and adj[0, 1] == 0
+
+    def test_isolated_node_gets_self_loop(self):
+        adj = mean_adjacency(3, [(0, 1)])
+        assert adj[2, 2] == 1.0
+
+    def test_graphdata_validates_edges(self):
+        g = GraphData(features=np.zeros((2, 2)), edges=[(0, 5)])
+        with pytest.raises(ValueError):
+            g.validate()
+
+
+class TestSAGELayer:
+    def test_output_shape(self):
+        layer = SAGELayer(3, 5)
+        g = chain_graph()
+        adj = mean_adjacency(g.num_nodes, g.edges)
+        out = layer.forward(g.features, adj)
+        assert out.shape == (4, 5)
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError):
+            SAGELayer(3, 5, activation="swish")
+
+    def test_backward_before_forward_raises(self):
+        layer = SAGELayer(3, 5)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((4, 5)))
+
+    def test_gradient_check_weights(self):
+        """Compare analytic gradients with finite differences."""
+        rng = np.random.default_rng(1)
+        layer = SAGELayer(3, 4, activation="tanh", rng=rng)
+        g = chain_graph(seed=1)
+        adj = mean_adjacency(g.num_nodes, g.edges)
+        target = rng.normal(size=(4, 4))
+
+        def loss():
+            out = layer.forward(g.features, adj)
+            return 0.5 * np.sum((out - target) ** 2)
+
+        out = layer.forward(g.features, adj)
+        layer.zero_grad()
+        layer.backward(out - target)
+
+        eps = 1e-6
+        for param, grad in [
+            (layer.w_self, layer.grad_w_self),
+            (layer.w_neigh, layer.grad_w_neigh),
+            (layer.bias, layer.grad_bias),
+        ]:
+            flat_param = param.reshape(-1)
+            flat_grad = grad.reshape(-1)
+            for idx in range(0, flat_param.size, max(1, flat_param.size // 5)):
+                original = flat_param[idx]
+                flat_param[idx] = original + eps
+                up = loss()
+                flat_param[idx] = original - eps
+                down = loss()
+                flat_param[idx] = original
+                numeric = (up - down) / (2 * eps)
+                assert flat_grad[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_gradient_check_inputs(self):
+        rng = np.random.default_rng(2)
+        layer = SAGELayer(3, 3, activation="tanh", rng=rng)
+        g = chain_graph(seed=2)
+        adj = mean_adjacency(g.num_nodes, g.edges)
+        target = rng.normal(size=(4, 3))
+        out = layer.forward(g.features, adj)
+        grad_in = layer.backward(out - target)
+
+        eps = 1e-6
+        features = g.features
+        for i in (0, 2):
+            for j in (0, 1):
+                original = features[i, j]
+                features[i, j] = original + eps
+                up = 0.5 * np.sum((layer.forward(features, adj) - target) ** 2)
+                features[i, j] = original - eps
+                down = 0.5 * np.sum((layer.forward(features, adj) - target) ** 2)
+                features[i, j] = original
+                numeric = (up - down) / (2 * eps)
+                assert grad_in[i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+
+class TestGraphSAGE:
+    def test_embedding_shape(self):
+        model = GraphSAGE(in_dim=3, hidden_dims=(8, 6))
+        emb = model.embed_graph(chain_graph())
+        assert emb.shape == (6,)
+        assert model.embedding_dim == 6
+
+    def test_single_node_graph(self):
+        model = GraphSAGE(in_dim=3, hidden_dims=(4,))
+        g = GraphData(features=np.ones((1, 3)), edges=[])
+        emb = model.embed_graph(g)
+        assert emb.shape == (4,)
+        assert np.all(np.isfinite(emb))
+
+    def test_deterministic_given_seed(self):
+        a = GraphSAGE(in_dim=3, hidden_dims=(4,), seed=7)
+        b = GraphSAGE(in_dim=3, hidden_dims=(4,), seed=7)
+        g = chain_graph()
+        np.testing.assert_allclose(a.embed_graph(g), b.embed_graph(g))
+
+    def test_permutation_invariance_of_pooling(self):
+        """Relabeling nodes must not change the pooled embedding."""
+        model = GraphSAGE(in_dim=3, hidden_dims=(5,), seed=0)
+        g = chain_graph(n=5, seed=3)
+        perm = np.array([4, 2, 0, 3, 1])
+        inverse = np.argsort(perm)
+        g_perm = GraphData(
+            features=g.features[perm],
+            edges=[(int(inverse[a]), int(inverse[b])) for a, b in g.edges],
+        )
+        np.testing.assert_allclose(
+            model.embed_graph(g), model.embed_graph(g_perm), atol=1e-10
+        )
+
+    def test_model_gradient_check(self):
+        rng = np.random.default_rng(5)
+        model = GraphSAGE(in_dim=3, hidden_dims=(4, 3), activation="tanh", seed=5)
+        g = chain_graph(seed=5)
+        target = rng.normal(size=3)
+
+        def loss():
+            return 0.5 * np.sum((model.embed_graph(g) - target) ** 2)
+
+        emb = model.embed_graph(g)
+        model.zero_grad()
+        model.backward_graph(emb - target)
+        grads = [g_.copy() for g_ in model.gradients]
+
+        eps = 1e-6
+        for p_idx, param in enumerate(model.parameters):
+            flat = param.reshape(-1)
+            for idx in range(0, flat.size, max(1, flat.size // 3)):
+                original = flat[idx]
+                flat[idx] = original + eps
+                up = loss()
+                flat[idx] = original - eps
+                down = loss()
+                flat[idx] = original
+                numeric = (up - down) / (2 * eps)
+                assert grads[p_idx].reshape(-1)[idx] == pytest.approx(
+                    numeric, rel=1e-4, abs=1e-6
+                )
+
+    def test_state_dict_round_trip(self):
+        model = GraphSAGE(in_dim=3, hidden_dims=(4,), seed=0)
+        state = model.state_dict()
+        g = chain_graph()
+        before = model.embed_graph(g)
+        model.parameters[0][:] += 1.0
+        model.load_state_dict(state)
+        np.testing.assert_allclose(model.embed_graph(g), before)
+
+    def test_backward_before_forward_raises(self):
+        model = GraphSAGE(in_dim=3, hidden_dims=(4,))
+        with pytest.raises(RuntimeError):
+            model.backward_graph(np.zeros(4))
+
+    def test_empty_hidden_dims_rejected(self):
+        with pytest.raises(ValueError):
+            GraphSAGE(in_dim=3, hidden_dims=())
+
+
+class TestOptimizers:
+    def quadratic_setup(self):
+        param = np.array([5.0, -3.0])
+        grad = np.zeros_like(param)
+        return param, grad
+
+    def test_sgd_converges_on_quadratic(self):
+        param, grad = self.quadratic_setup()
+        opt = SGD([param], [grad], lr=0.1)
+        for _ in range(200):
+            grad[:] = param  # d/dx (x^2/2)
+            opt.step()
+        assert np.linalg.norm(param) < 1e-4
+
+    def test_sgd_momentum_accelerates(self):
+        param1, grad1 = self.quadratic_setup()
+        param2, grad2 = self.quadratic_setup()
+        plain = SGD([param1], [grad1], lr=0.01)
+        momentum = SGD([param2], [grad2], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            grad1[:] = param1
+            plain.step()
+            grad2[:] = param2
+            momentum.step()
+        assert np.linalg.norm(param2) < np.linalg.norm(param1)
+
+    def test_adam_converges_on_quadratic(self):
+        param, grad = self.quadratic_setup()
+        opt = Adam([param], [grad], lr=0.1)
+        for _ in range(400):
+            grad[:] = param
+            opt.step()
+        assert np.linalg.norm(param) < 1e-3
+
+    def test_invalid_lr_rejected(self):
+        param, grad = self.quadratic_setup()
+        with pytest.raises(ValueError):
+            SGD([param], [grad], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([param], [grad], lr=-1.0)
+
+    @given(st.floats(0.01, 0.3))
+    @settings(max_examples=10, deadline=None)
+    def test_sgd_step_direction_decreases_loss(self, lr):
+        param = np.array([2.0])
+        grad = np.array([2.0])  # gradient of x^2 at x=2 is 4, but any +grad works
+        before = param[0] ** 2
+        SGD([param], [grad], lr=lr).step()
+        assert param[0] ** 2 < before

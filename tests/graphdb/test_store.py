@@ -1,0 +1,128 @@
+"""Unit tests for the property-graph store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphdb import GraphStore, GraphStoreError
+
+
+@pytest.fixture
+def store():
+    s = GraphStore()
+    a = s.create_node(["Module"], name="alu", area=120.5)
+    b = s.create_node(["Module"], name="regfile", area=300.0)
+    c = s.create_node(["Design"], name="cpu")
+    s.create_rel(c.node_id, "CONTAINS", a.node_id)
+    s.create_rel(c.node_id, "CONTAINS", b.node_id)
+    s.create_rel(a.node_id, "CONNECTS", b.node_id, nets=4)
+    return s
+
+
+class TestNodes:
+    def test_create_and_get(self, store):
+        node = store.find_one("Module", name="alu")
+        assert node is not None
+        assert node.properties["area"] == 120.5
+
+    def test_labels_indexed(self, store):
+        assert len(list(store.nodes("Module"))) == 2
+        assert len(list(store.nodes("Design"))) == 1
+
+    def test_property_filter(self, store):
+        assert store.find_one("Module", name="nope") is None
+
+    def test_missing_node_raises(self, store):
+        with pytest.raises(GraphStoreError):
+            store.node(999)
+
+    def test_delete_node_removes_rels(self, store):
+        alu = store.find_one("Module", name="alu")
+        store.delete_node(alu.node_id)
+        assert store.num_rels == 1  # only CONTAINS regfile remains
+        assert store.find_one("Module", name="alu") is None
+
+    def test_multi_label_node(self):
+        s = GraphStore()
+        n = s.create_node(["A", "B"])
+        assert n.has_label("A") and n.has_label("B")
+        assert list(s.nodes("A")) == [n]
+        assert list(s.nodes("B")) == [n]
+
+
+class TestRelationships:
+    def test_neighbors_out(self, store):
+        cpu = store.find_one("Design")
+        names = {n.properties["name"] for n in store.neighbors(cpu.node_id, "CONTAINS")}
+        assert names == {"alu", "regfile"}
+
+    def test_neighbors_in(self, store):
+        alu = store.find_one("Module", name="alu")
+        parents = store.neighbors(alu.node_id, "CONTAINS", direction="in")
+        assert parents[0].properties["name"] == "cpu"
+
+    def test_neighbors_both(self, store):
+        alu = store.find_one("Module", name="alu")
+        both = store.neighbors(alu.node_id, direction="both")
+        assert len(both) == 2
+
+    def test_rel_properties(self, store):
+        rel = next(store.rels("CONNECTS"))
+        assert rel.properties["nets"] == 4
+
+    def test_rel_to_missing_node_rejected(self, store):
+        with pytest.raises(GraphStoreError):
+            store.create_rel(0, "X", 999)
+
+    def test_delete_rel(self, store):
+        rel = next(store.rels("CONNECTS"))
+        store.delete_rel(rel.rel_id)
+        assert list(store.rels("CONNECTS")) == []
+
+
+class TestStats:
+    def test_counts(self, store):
+        assert store.num_nodes == 3
+        assert store.num_rels == 3
+
+    def test_labels(self, store):
+        assert store.labels() == {"Module", "Design"}
+
+    def test_clear(self, store):
+        store.clear()
+        assert store.num_nodes == 0
+        assert store.num_rels == 0
+
+
+class TestProperties:
+    @given(st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_node_count_invariant(self, n):
+        s = GraphStore()
+        ids = [s.create_node(["N"], i=i).node_id for i in range(n)]
+        assert s.num_nodes == n
+        for node_id in ids[: n // 2]:
+            s.delete_node(node_id)
+        assert s.num_nodes == n - n // 2
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_rel_endpoints_always_exist(self, edges):
+        s = GraphStore()
+        nodes = [s.create_node(["N"]).node_id for _ in range(10)]
+        for a, b in edges:
+            s.create_rel(nodes[a], "E", nodes[b])
+        for rel in s.rels():
+            s.node(rel.start)
+            s.node(rel.end)
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_delete_is_idempotent_on_rels(self, targets):
+        s = GraphStore()
+        hub = s.create_node(["Hub"]).node_id
+        spokes = [s.create_node(["Spoke"]).node_id for _ in range(5)]
+        for t in targets:
+            s.create_rel(hub, "E", spokes[t])
+        s.delete_node(hub)
+        assert s.num_rels == 0

@@ -1,0 +1,99 @@
+"""Unit tests for the Verilog lexer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdl.lexer import LexerError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text) if t.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "EOF"
+
+    def test_keywords_recognised(self):
+        assert kinds("module endmodule")[:2] == ["KEYWORD", "KEYWORD"]
+
+    def test_identifier_with_dollar_and_underscore(self):
+        toks = tokenize("my_sig$2 _x")
+        assert [t.value for t in toks[:2]] == ["my_sig$2", "_x"]
+        assert all(t.kind == "ID" for t in toks[:2])
+
+    def test_escaped_identifier(self):
+        toks = tokenize("\\weird[0] ;")
+        assert toks[0].kind == "ID"
+        assert toks[0].value == "weird[0]"
+
+    def test_numbers_sized_and_unsized(self):
+        toks = tokenize("42 8'hFF 4'b1010 16'd100 3'o7")
+        assert all(t.kind == "NUMBER" for t in toks[:-1])
+        assert values("42 8'hFF")[0] == "42"
+
+    def test_number_with_underscores(self):
+        assert values("32'hDEAD_BEEF") == ["32'hDEAD_BEEF"]
+
+    def test_string_literal(self):
+        toks = tokenize('"hello world"')
+        assert toks[0].kind == "STRING"
+
+    def test_operators_maximal_munch(self):
+        assert values("a <= b") == ["a", "<=", "b"]
+        assert values("a <<< 2") == ["a", "<<<", "2"]
+        assert values("a << 2") == ["a", "<<", "2"]
+        assert values("a === b") == ["a", "===", "b"]
+
+
+class TestCommentsAndDirectives:
+    def test_line_comment_skipped(self):
+        assert values("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("/* never closed")
+
+    def test_directive_line_skipped(self):
+        assert values("`timescale 1ns/1ps\nmodule") == ["module"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_stray_character_raises_with_position(self):
+        with pytest.raises(LexerError, match="line 2"):
+            tokenize("ok\n\x01")
+
+
+class TestPropertyBased:
+    @given(st.lists(st.sampled_from(["module", "wire", "foo", "42", "+", "(", ")"]), max_size=30))
+    def test_whitespace_insensitivity(self, words):
+        text_spaces = " ".join(words)
+        text_newlines = "\n".join(words)
+        assert values(text_spaces) == values(text_newlines)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_decimal_numbers_round_trip(self, n):
+        toks = tokenize(str(n))
+        assert toks[0].kind == "NUMBER"
+        assert int(toks[0].value) == n
+
+    @given(st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,20}", fullmatch=True))
+    def test_identifiers_lex_as_single_token(self, ident):
+        toks = tokenize(ident)
+        assert len(toks) == 2
+        assert toks[0].value == ident

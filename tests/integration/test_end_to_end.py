@@ -1,0 +1,148 @@
+"""Integration tests: the full pipeline, cross-module invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core import BaselineRunner, ChatLS
+from repro.designs import get_benchmark
+from repro.designs.chipyard import generate_family_variant
+from repro.designs.database import ExpertDatabase
+from repro.eval.harness import TIMING_REQUIREMENT, baseline_script
+from repro.hdl import elaborate
+from repro.hdl.sim import Simulator
+from repro.llm import gpt4o
+from repro.mentor import CircuitEncoder
+from repro.synth import DCShell
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = ExpertDatabase(CircuitEncoder(seed=0))
+    for family in ("rocket", "nvdla", "sha3"):
+        database.add_design(
+            generate_family_variant(family, 0),
+            strategies=["baseline_compile", "ultra_retime", "fanout_buffered"],
+        )
+    return database
+
+
+class TestFullPipeline:
+    def test_rtl_to_qor(self):
+        """RTL -> elaborate -> synthesize -> report, no LLM involved."""
+        bench = get_benchmark("riscv32i")
+        shell = DCShell()
+        shell.add_design(bench.name, bench.verilog, top=bench.top)
+        result = shell.run_script(baseline_script(bench))
+        assert result.success
+        assert result.qor.num_cells > 500
+        assert result.qor.num_registers > 100
+
+    def test_chatls_never_worse_than_baseline_on_benchmarks(self, db):
+        chatls = ChatLS(db)
+        for name in ("aes", "tinyRocket"):
+            bench = get_benchmark(name)
+            script = baseline_script(bench)
+            shell = DCShell()
+            shell.add_design(bench.name, bench.verilog, top=bench.top)
+            base = shell.run_script(script)
+            report = next(o for l, o in base.transcript if l == "report_qor")
+            result = chatls.customize_and_evaluate(
+                bench.verilog, bench.name, script, TIMING_REQUIREMENT,
+                tool_report=report, top=bench.top,
+                clock_period=bench.clock_period, seed=0,
+            )
+            assert result.executable
+            assert result.qor.wns >= base.qor.wns - 1e-6
+
+    def test_baseline_model_runs_all_benchmarks(self):
+        runner = BaselineRunner(gpt4o())
+        bench = get_benchmark("dynamic_node")
+        run = runner.run_pass_at_k(
+            bench.verilog, bench.name, baseline_script(bench),
+            TIMING_REQUIREMENT, k=3, top=bench.top,
+        )
+        assert run.qor is not None
+
+    def test_customized_script_is_valid_tcl(self, db):
+        """Every ChatLS script must parse and execute in a fresh shell."""
+        chatls = ChatLS(db)
+        bench = get_benchmark("jpeg")
+        for seed in range(3):
+            result = chatls.customize(
+                bench.verilog, bench.name, baseline_script(bench),
+                TIMING_REQUIREMENT, top=bench.top,
+                clock_period=bench.clock_period, seed=seed,
+            )
+            shell = DCShell()
+            shell.add_design(bench.name, bench.verilog, top=bench.top)
+            run = shell.run_script(result.script)
+            assert run.success, (seed, run.error, result.script)
+
+
+class TestFunctionalPreservation:
+    """Synthesized netlists must behave like the RTL, whatever the script."""
+
+    DESIGN = """
+    module dut(input clk, input [7:0] a, b, output reg [7:0] y);
+      reg [7:0] t;
+      always @(posedge clk) begin
+        t <= a + b;
+        y <= t ^ 8'h5A;
+      end
+    endmodule
+    """
+
+    def run_sequence(self, netlist, stimulus):
+        sim = Simulator(netlist)
+        outputs = []
+        for a, b in stimulus:
+            sim.set_word("a", a, 8)
+            sim.set_word("b", b, 8)
+            sim.step()
+            outputs.append(sim.get_word("y", 8))
+        return outputs
+
+    @pytest.mark.parametrize(
+        "commands",
+        [
+            "compile",
+            "compile -map_effort high",
+            "compile_ultra",
+            "compile_ultra -retime\noptimize_registers",
+            "set_max_fanout 8\ncompile_ultra\nbalance_buffer",
+        ],
+    )
+    def test_every_flow_preserves_behaviour(self, commands):
+        rng = np.random.default_rng(1)
+        stimulus = [
+            (int(rng.integers(256)), int(rng.integers(256))) for _ in range(8)
+        ]
+        golden = self.run_sequence(elaborate(self.DESIGN, "dut"), stimulus)
+        shell = DCShell()
+        shell.add_design("dut", self.DESIGN)
+        result = shell.run_script(
+            "read_verilog dut\nset_wire_load_model -name 5K_heavy_1k\n"
+            "create_clock -period 1.0 clk\n" + commands
+        )
+        assert result.success, result.error
+        synthesized = self.run_sequence(shell.netlist, stimulus)
+        assert synthesized == golden, commands
+
+
+class TestDatabaseRoundTrip:
+    def test_entry_embedding_retrieves_itself(self, db):
+        from repro.rag import EmbeddingRetriever
+
+        retriever = EmbeddingRetriever(db)
+        for name, entry in db.entries.items():
+            hits = retriever.retrieve_designs(entry.embedding, k=1, rerank=False)
+            assert hits[0].key == name
+
+    def test_expert_scripts_execute(self, db):
+        for entry in db.entries.values():
+            shell = DCShell()
+            shell.add_design(
+                entry.design.name, entry.design.verilog, top=entry.design.top
+            )
+            result = shell.run_script(entry.expert_script)
+            assert result.success, (entry.design.name, result.error)

@@ -1,0 +1,245 @@
+"""Tests for the simulated LLM layer: prompts, policies, hallucinations."""
+
+import pytest
+
+from repro.llm import (
+    HALLUCINATION_GALLERY,
+    VALID_COMMANDS,
+    ModelProfile,
+    SimulatedLLM,
+    build_prompt,
+    chatls_core,
+    claude35,
+    extract_script,
+    gpt4o,
+    parse_sections,
+)
+
+
+class TestPromptSchema:
+    def test_round_trip(self):
+        sections = {
+            "USER REQUIREMENT": "fix timing",
+            "BASELINE SCRIPT": "compile",
+            "DESIGN RTL": "module m(); endmodule",
+        }
+        prompt = build_prompt(sections)
+        parsed = parse_sections(prompt)
+        for key, value in sections.items():
+            assert parsed[key] == value
+
+    def test_section_order_known_first(self):
+        prompt = build_prompt({"DESIGN RTL": "x", "USER REQUIREMENT": "y"})
+        assert prompt.index("USER REQUIREMENT") < prompt.index("DESIGN RTL")
+
+    def test_extract_script_fenced(self):
+        text = "Here you go:\n```tcl\ncompile\nreport_qor\n```\nDone."
+        assert extract_script(text) == "compile\nreport_qor"
+
+    def test_extract_script_bare_fence(self):
+        text = "```\ncompile\n```"
+        assert extract_script(text) == "compile"
+
+    def test_extract_script_fallback_lines(self):
+        text = "compile_ultra -retime\nreport_qor"
+        assert "compile_ultra -retime" in extract_script(text)
+
+    def test_extract_script_none(self):
+        assert extract_script("I cannot help with that.") is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        llm = gpt4o()
+        prompt = build_prompt(
+            {"USER REQUIREMENT": "fix timing", "BASELINE SCRIPT": "compile",
+             "TOOL REPORT": "Worst Negative Slack: -0.5"}
+        )
+        a = llm.complete(prompt, seed=3)
+        b = llm.complete(prompt, seed=3)
+        assert a.text == b.text
+
+    def test_different_seeds_can_differ(self):
+        llm = claude35()
+        prompt = build_prompt(
+            {"USER REQUIREMENT": "fix timing",
+             "BASELINE SCRIPT": "create_clock -period 1.0 clk\ncompile",
+             "TOOL REPORT": "Worst Negative Slack: -0.9",
+             "DESIGN RTL": "module a(); endmodule\nmodule b(); endmodule"}
+        )
+        outputs = {llm.complete(prompt, seed=s).text for s in range(8)}
+        assert len(outputs) > 1
+
+    def test_model_name_recorded(self):
+        completion = gpt4o().complete("## USER REQUIREMENT\nx")
+        assert completion.model == "gpt-4o-sim"
+
+
+class TestScriptDrafting:
+    def draft(self, llm, sections, seed=0):
+        completion = llm.complete(build_prompt(sections), seed=seed)
+        return extract_script(completion.text)
+
+    def test_violated_design_gets_stronger_compile(self):
+        llm = SimulatedLLM(ModelProfile(name="clean", hallucination_rate=0.0))
+        script = self.draft(
+            llm,
+            {
+                "USER REQUIREMENT": "fix timing",
+                "BASELINE SCRIPT": "create_clock -period 1.0 clk\ncompile\nreport_qor",
+                "TOOL REPORT": "Worst Negative Slack: -0.80",
+            },
+        )
+        assert "compile" in script
+        assert "create_clock -period 1.0 clk" in script  # constraints kept
+
+    def test_met_design_keeps_plain_compile(self):
+        llm = SimulatedLLM(ModelProfile(name="clean", hallucination_rate=0.0))
+        script = self.draft(
+            llm,
+            {
+                "USER REQUIREMENT": "fix timing",
+                "BASELINE SCRIPT": "create_clock -period 9 clk\ncompile",
+                "TOOL REPORT": "Worst Negative Slack: 0.00",
+            },
+        )
+        assert "compile_ultra" not in script
+
+    def test_grounded_prompt_follows_strategies(self):
+        llm = chatls_core()
+        script = self.draft(
+            llm,
+            {
+                "USER REQUIREMENT": "fix timing",
+                "BASELINE SCRIPT": "create_clock -period 1 clk\ncompile",
+                "TOOL REPORT": "Worst Negative Slack: -0.5",
+                "RETRIEVED STRATEGIES": (
+                    "[ultra_retime] retiming helps\n"
+                    "- command: compile_ultra -retime\n"
+                    "- command: optimize_registers\n"
+                ),
+            },
+            seed=1,
+        )
+        assert "compile_ultra -retime" in script
+        assert "optimize_registers" in script
+
+    def test_single_compile_class_command(self):
+        llm = chatls_core()
+        script = self.draft(
+            llm,
+            {
+                "USER REQUIREMENT": "fix timing",
+                "BASELINE SCRIPT": "create_clock -period 1 clk\ncompile",
+                "RETRIEVED STRATEGIES": (
+                    "- command: compile -map_effort high\n"
+                    "- command: compile_ultra\n"
+                    "- command: set_max_fanout 16\n"
+                ),
+            },
+        )
+        compile_lines = [
+            l for l in script.splitlines() if l.split()[0].startswith("compile")
+        ]
+        assert len(compile_lines) == 1
+        assert compile_lines[0] == "compile -map_effort high"
+
+    def test_hallucination_rate_zero_always_valid(self):
+        llm = SimulatedLLM(ModelProfile(name="clean", hallucination_rate=0.0))
+        for seed in range(10):
+            script = self.draft(
+                llm,
+                {
+                    "USER REQUIREMENT": "fix timing",
+                    "BASELINE SCRIPT": "create_clock -period 1 clk\ncompile",
+                    "TOOL REPORT": "Worst Negative Slack: -0.5",
+                },
+                seed=seed,
+            )
+            for line in script.splitlines():
+                assert line.split()[0] in VALID_COMMANDS or line.split()[0] in (
+                    "create_clock",
+                ), line
+
+    def test_hallucination_rate_one_always_invalid(self):
+        llm = SimulatedLLM(ModelProfile(name="wild", hallucination_rate=1.0))
+        script = self.draft(
+            llm,
+            {
+                "USER REQUIREMENT": "fix timing",
+                "BASELINE SCRIPT": "create_clock -period 1 clk\ncompile",
+                "TOOL REPORT": "Worst Negative Slack: -0.5",
+            },
+        )
+        assert any(
+            line in HALLUCINATION_GALLERY for line in script.splitlines()
+        )
+
+    def test_context_window_truncates_rtl_cues(self):
+        """A multiplier past the window must be invisible to the model."""
+        filler = "// padding comment line\n" * 400
+        rtl = filler + "module m(input [7:0] a, b, output [15:0] y); assign y = a * b * a * b; endmodule"
+        tiny = SimulatedLLM(ModelProfile(name="tiny", context_window=100, hallucination_rate=0.0))
+        big = SimulatedLLM(ModelProfile(name="big", context_window=100000, hallucination_rate=0.0))
+        sections = {
+            "USER REQUIREMENT": "fix timing",
+            "BASELINE SCRIPT": "create_clock -period 1 clk\ncompile",
+            "TOOL REPORT": "Worst Negative Slack: -0.5",
+            "DESIGN RTL": rtl,
+        }
+        tiny_cues = tiny._gather_cues(parse_sections(build_prompt(sections)))
+        big_cues = big._gather_cues(parse_sections(build_prompt(sections)))
+        assert not tiny_cues.mul_heavy
+        assert big_cues.mul_heavy
+
+
+class TestAuxiliaryTasks:
+    def test_cypher_generation_module(self):
+        llm = chatls_core()
+        completion = llm.complete(
+            build_prompt({"TASK": "GENERATE CYPHER", "TARGET": "alu", "KIND": "module"})
+        )
+        assert "MATCH (m:Module {name: 'alu'})" in completion.text
+
+    def test_cypher_generation_cell(self):
+        llm = chatls_core()
+        completion = llm.complete(
+            build_prompt({"TASK": "GENERATE CYPHER", "TARGET": "INV_X1", "KIND": "cell"})
+        )
+        assert "LibCell" in completion.text
+
+    def test_query_formulation(self):
+        llm = chatls_core()
+        completion = llm.complete(
+            build_prompt(
+                {"TASK": "FORMULATE QUERY", "THOUGHT STEP": "apply optimize_registers to balance stages"}
+            )
+        )
+        assert "optimize_registers" in completion.text
+
+    def test_rerank_orders_by_overlap(self):
+        llm = chatls_core()
+        completion = llm.complete(
+            build_prompt(
+                {
+                    "TASK": "RERANK",
+                    "QUERY": "retime registers pipeline",
+                    "CANDIDATES": (
+                        "doc_a: buffer trees for fanout\n"
+                        "doc_b: retime registers to balance pipeline stages\n"
+                    ),
+                }
+            )
+        )
+        lines = completion.text.splitlines()
+        assert lines[0] == "doc_b"
+
+
+class TestProfiles:
+    def test_builders_produce_distinct_profiles(self):
+        assert gpt4o().profile.name != claude35().profile.name
+        assert chatls_core().profile.hallucination_rate < claude35().profile.hallucination_rate
+
+    def test_chatls_core_knows_more_heuristics(self):
+        assert chatls_core().profile.knows_retiming_heuristic
+        assert not gpt4o().profile.knows_retiming_heuristic

@@ -1,0 +1,104 @@
+"""Tests for the design analyzer (pathology detection)."""
+
+import pytest
+
+from repro.designs.generators import gen_imbalanced_pipeline
+from repro.designs.opencores import get_benchmark
+from repro.mentor import analyze_design
+
+
+class TestPathologyDetection:
+    def test_retiming_target_flagged(self):
+        src = gen_imbalanced_pipeline("imb", width=8, heavy_ops=2)
+        analysis = analyze_design(src, "imb", clock_period=1.0)
+        assert "register_imbalance" in analysis.pathologies
+        assert analysis.register_stage_imbalance > 0.5
+
+    def test_high_fanout_flagged(self):
+        src = """
+        module hf(input sel, input [63:0] a, b, output [63:0] y);
+          assign y = sel ? a : b;
+        endmodule
+        """
+        analysis = analyze_design(src, "hf", clock_period=2.0)
+        assert "high_fanout" in analysis.pathologies
+        assert analysis.max_fanout >= 64
+
+    def test_unbalanced_chain_flagged(self):
+        src = """
+        module chain(input [15:0] a, output y);
+          assign y = a[0] ^ a[1] ^ a[2] ^ a[3] ^ a[4] ^ a[5] ^ a[6] ^ a[7]
+                   ^ a[8] ^ a[9] ^ a[10] ^ a[11] ^ a[12] ^ a[13] ^ a[14] ^ a[15];
+        endmodule
+        """
+        analysis = analyze_design(src, "chain", clock_period=2.0)
+        assert "unbalanced_chains" in analysis.pathologies
+        assert analysis.longest_chain >= 8
+
+    def test_balanced_design_clean(self):
+        src = "module ok(input a, b, output y); assign y = a & b; endmodule"
+        analysis = analyze_design(src, "ok", clock_period=10.0)
+        assert "timing_violated" not in analysis.pathologies
+        assert "register_imbalance" not in analysis.pathologies
+        assert "unbalanced_chains" not in analysis.pathologies
+
+    def test_timing_violation_flag_depends_on_period(self):
+        src = gen_imbalanced_pipeline("imb2", width=8, heavy_ops=2)
+        tight = analyze_design(src, "imb2", clock_period=0.5)
+        loose = analyze_design(src, "imb2", clock_period=50.0)
+        assert "timing_violated" in tight.pathologies
+        assert "timing_violated" not in loose.pathologies
+
+    def test_wide_arithmetic_flag(self):
+        src = """
+        module arith(input [15:0] a, b, output [15:0] s, t);
+          assign s = a + b;
+          assign t = a - b;
+        endmodule
+        """
+        analysis = analyze_design(src, "arith", clock_period=2.0)
+        assert "wide_arithmetic" in analysis.pathologies
+        assert analysis.tagged_adders >= 2
+
+
+class TestAnalysisContent:
+    def test_benchmark_pathologies_match_design_intent(self):
+        bench = get_benchmark("tinyRocket")
+        analysis = analyze_design(
+            bench.verilog, bench.name, top=bench.top, clock_period=bench.clock_period
+        )
+        assert "register_imbalance" in analysis.pathologies
+
+    def test_critical_modules_identified(self):
+        bench = get_benchmark("aes")
+        analysis = analyze_design(
+            bench.verilog, bench.name, top=bench.top, clock_period=bench.clock_period
+        )
+        # aes's critical path runs through the sbox/mix instances.
+        assert analysis.critical_modules
+
+    def test_summary_renders_key_fields(self):
+        bench = get_benchmark("jpeg")
+        analysis = analyze_design(
+            bench.verilog, bench.name, top=bench.top, clock_period=bench.clock_period
+        )
+        text = analysis.summary()
+        assert "detected pathologies" in text
+        assert "WNS=" in text
+        assert analysis.dominant_category in text
+
+    def test_category_mix_counts_modules(self):
+        bench = get_benchmark("riscv32i")
+        analysis = analyze_design(
+            bench.verilog, bench.name, top=bench.top, clock_period=bench.clock_period
+        )
+        assert sum(analysis.category_mix.values()) == len(
+            analysis.circuit.module_graphs
+        )
+
+    def test_hierarchy_buffers_counted(self):
+        bench = get_benchmark("aes")
+        analysis = analyze_design(
+            bench.verilog, bench.name, top=bench.top, clock_period=bench.clock_period
+        )
+        assert analysis.hierarchy_buffers > 0

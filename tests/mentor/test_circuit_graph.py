@@ -1,0 +1,128 @@
+"""Tests for CircuitMentor's graph construction and embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.graphdb import execute
+from repro.mentor import CircuitEncoder, build_circuit_graph
+
+HIER_SRC = """
+module leaf(input [3:0] a, output [3:0] y);
+  assign y = a + 4'd1;
+endmodule
+
+module mid(input [3:0] a, output [3:0] y);
+  wire [3:0] t;
+  leaf u1 (.a(a), .y(t));
+  leaf u2 (.a(t), .y(y));
+endmodule
+
+module top(input clk, input [3:0] d, output reg [3:0] q);
+  wire [3:0] m;
+  mid u (.a(d), .y(m));
+  always @(posedge clk) q <= m;
+endmodule
+"""
+
+
+@pytest.fixture
+def circuit():
+    return build_circuit_graph(HIER_SRC, "testchip", top="top")
+
+
+class TestPropertyGraph:
+    def test_design_node_created(self, circuit):
+        rows = execute(circuit.store, "MATCH (d:Design) RETURN d.name AS name")
+        assert rows == [{"name": "testchip"}]
+
+    def test_module_nodes_with_code(self, circuit):
+        rows = execute(
+            circuit.store, "MATCH (m:Module) RETURN m.name AS name, m.code AS code"
+        )
+        names = {r["name"] for r in rows}
+        assert names == {"leaf", "mid", "top"}
+        for row in rows:
+            assert f"module {row['name']}" in row["code"]
+
+    def test_contains_edges(self, circuit):
+        rows = execute(
+            circuit.store,
+            "MATCH (d:Design)-[:CONTAINS]->(m:Module) RETURN count(*) AS n",
+        )
+        assert rows[0]["n"] == 3
+
+    def test_instantiates_edges(self, circuit):
+        rows = execute(
+            circuit.store,
+            "MATCH (a:Module)-[:INSTANTIATES]->(b:Module) "
+            "RETURN a.name AS parent, b.name AS child",
+        )
+        pairs = {(r["parent"], r["child"]) for r in rows}
+        assert ("top", "mid") in pairs
+        assert ("mid", "leaf") in pairs
+
+    def test_top_flag(self, circuit):
+        rows = execute(
+            circuit.store,
+            "MATCH (m:Module) WHERE m.is_top = true RETURN m.name AS name",
+        )
+        assert [r["name"] for r in rows] == ["top"]
+
+    def test_component_nodes(self, circuit):
+        rows = execute(
+            circuit.store,
+            "MATCH (m:Module {name: 'top'})-[:HAS]->(c:Component) "
+            "RETURN c.kind AS kind",
+        )
+        kinds = [r["kind"] for r in rows]
+        assert "always_seq" in kinds
+
+    def test_category_property(self, circuit):
+        rows = execute(
+            circuit.store,
+            "MATCH (m:Module {name: 'leaf'}) RETURN m.category AS cat",
+        )
+        assert rows[0]["cat"] in ("arithmetic", "mixed")
+
+
+class TestModuleGraphs:
+    def test_one_graph_per_module(self, circuit):
+        assert set(circuit.module_graphs) == {"leaf", "mid", "top"}
+
+    def test_dataflow_edges_follow_def_use(self, circuit):
+        graph = circuit.module_graphs["leaf"]
+        graph.validate()
+        # input port defines 'a', assign uses it: at least one edge.
+        assert graph.edges
+
+    def test_design_graph_structure(self, circuit):
+        dg = circuit.design_graph()
+        assert dg.num_nodes == 3
+        assert dg.edges  # instantiation edges present
+        dg.validate()
+
+
+class TestEncoderIntegration:
+    def test_module_embeddings_normalized(self, circuit):
+        encoder = CircuitEncoder(embedding_dim=16)
+        for name, emb in encoder.embed_modules(circuit).items():
+            assert emb.shape == (16,)
+            assert np.linalg.norm(emb) == pytest.approx(1.0, abs=1e-9)
+
+    def test_design_embedding_deterministic(self, circuit):
+        a = CircuitEncoder(seed=3).embed_design(circuit)
+        b = CircuitEncoder(seed=3).embed_design(circuit)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_designs_differ(self):
+        encoder = CircuitEncoder()
+        c1 = build_circuit_graph(HIER_SRC, "a", top="top")
+        other = """
+        module top(input [7:0] x, output [7:0] y);
+          assign y = x ^ {x[3:0], x[7:4]};
+        endmodule
+        """
+        c2 = build_circuit_graph(other, "b", top="top")
+        e1 = encoder.embed_design(c1)
+        e2 = encoder.embed_design(c2)
+        assert float(e1 @ e2) < 0.999

@@ -1,0 +1,167 @@
+"""Tests for AST feature extraction and module classification."""
+
+import numpy as np
+import pytest
+
+from repro.hdl.parser import parse_source
+from repro.mentor.features import (
+    FEATURE_DIM,
+    classify_module,
+    component_features,
+    count_ops,
+    expr_signals,
+    module_profile,
+)
+
+
+def first_module(src):
+    return parse_source(src).modules[0]
+
+
+class TestOpCounting:
+    def test_counts_arithmetic(self):
+        mod = first_module(
+            "module m(input [7:0] a, b, output [7:0] y); assign y = a * b + a - b; endmodule"
+        )
+        ops = count_ops(mod.assigns[0].value)
+        assert ops.mul == 1
+        assert ops.add == 2  # + and -
+
+    def test_counts_mux_in_statements(self):
+        mod = first_module(
+            """
+            module m(input s, a, b, output reg y);
+            always @(*) begin
+              if (s) y = a;
+              else y = b;
+            end
+            endmodule
+            """
+        )
+        ops = count_ops(mod.always_blocks[0].body)
+        assert ops.mux >= 1
+
+    def test_counts_case_branches(self):
+        mod = first_module(
+            """
+            module m(input [1:0] s, output reg y);
+            always @(*) case (s)
+              2'd0: y = 1'b0;
+              2'd1: y = 1'b1;
+              default: y = 1'b0;
+            endcase
+            endmodule
+            """
+        )
+        ops = count_ops(mod.always_blocks[0].body)
+        assert ops.mux == 2  # items - 1
+
+    def test_xor_and_reductions(self):
+        mod = first_module(
+            "module m(input [7:0] a, output y); assign y = ^a ^ a[0]; endmodule"
+        )
+        ops = count_ops(mod.assigns[0].value)
+        assert ops.xor == 2
+
+
+class TestSignalExtraction:
+    def test_expr_signals(self):
+        mod = first_module(
+            "module m(input a, b, c, output y); assign y = a ? b : c; endmodule"
+        )
+        assert expr_signals(mod.assigns[0].value) == {"a", "b", "c"}
+
+    def test_statement_signals(self):
+        mod = first_module(
+            """
+            module m(input clk, d, output reg q);
+            always @(posedge clk) q <= d;
+            endmodule
+            """
+        )
+        stmt = mod.always_blocks[0].body[0]
+        assert expr_signals(stmt.value) == {"d"}
+        assert expr_signals(stmt.target) == {"q"}
+
+
+class TestComponentFeatures:
+    def test_shape_and_kind_one_hot(self):
+        from repro.mentor.features import OpCounts
+
+        vec = component_features("assign", 16, OpCounts(add=2))
+        assert vec.shape == (FEATURE_DIM,)
+        assert vec[2] == 1.0  # assign slot
+        assert vec[7] > 0  # add census
+
+    def test_unknown_kind_no_one_hot(self):
+        from repro.mentor.features import OpCounts
+
+        vec = component_features("mystery", 8, OpCounts())
+        assert np.all(vec[:6] == 0)
+
+
+class TestClassification:
+    def classify(self, src):
+        return module_profile(first_module(src)).category
+
+    def test_arithmetic_module(self):
+        assert self.classify(
+            "module m(input [7:0] a, b, output [15:0] y); assign y = a * b + a; endmodule"
+        ) == "arithmetic"
+
+    def test_memory_module(self):
+        assert self.classify(
+            "module m(input clk, input [3:0] a, output [7:0] q); "
+            "reg [7:0] mem [0:15]; assign q = mem[a]; endmodule"
+        ) == "memory"
+
+    def test_crypto_module(self):
+        src = """
+        module m(input [7:0] x, output [7:0] y);
+          assign y[0] = x[0] ^ x[3] ^ x[5];
+          assign y[1] = x[1] ^ x[4] ^ x[6];
+          assign y[2] = x[2] ^ x[5] ^ x[7];
+          assign y[3] = x[3] ^ x[6] ^ x[0];
+          assign y[7:4] = x[7:4];
+        endmodule
+        """
+        assert self.classify(src) == "crypto"
+
+    def test_control_module(self):
+        src = """
+        module m(input [2:0] s, input a, b, output reg y);
+        always @(*) begin
+          case (s)
+            3'd0: y = a & b;
+            3'd1: y = a | b;
+            3'd2: y = !a;
+            default: y = b;
+          endcase
+        end
+        endmodule
+        """
+        assert self.classify(src) == "control"
+
+    def test_profile_counts(self):
+        mod = first_module(
+            """
+            module m(input clk, input [7:0] d, output reg [7:0] q);
+            wire [7:0] w;
+            assign w = d + 8'd1;
+            always @(posedge clk) q <= w;
+            endmodule
+            """
+        )
+        profile = module_profile(mod)
+        assert profile.num_assigns == 1
+        assert profile.num_always_seq == 1
+        assert profile.num_always_comb == 0
+        assert profile.max_width == 8
+
+    def test_parameterized_widths(self):
+        mod = first_module(
+            "module m #(parameter W = 32)(input [W-1:0] a, output [W-1:0] y); "
+            "assign y = a; endmodule"
+        )
+        profile = module_profile(mod)
+        assert profile.max_width == 32

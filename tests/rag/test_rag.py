@@ -1,0 +1,192 @@
+"""Tests for SynthRAG: retrievers, rerankers, knowledge mapping."""
+
+import numpy as np
+import pytest
+
+from repro.designs.chipyard import generate_family_variant
+from repro.designs.database import STRATEGIES, ExpertDatabase
+from repro.llm import chatls_core
+from repro.mentor import CircuitEncoder, build_circuit_graph
+from repro.rag import (
+    LLMReranker,
+    ManualRetriever,
+    SynthRAG,
+    domain_rerank,
+    load_library_graph,
+    manual_corpus,
+    render_strategy_section,
+    strategies_for_pathologies,
+)
+from repro.synth import nangate45
+from repro.vectorstore import SearchResult
+
+
+@pytest.fixture(scope="module")
+def small_database():
+    encoder = CircuitEncoder(seed=0)
+    db = ExpertDatabase(encoder)
+    for family in ("rocket", "sha3", "nvdla"):
+        db.add_design(
+            generate_family_variant(family, 0),
+            strategies=["baseline_compile", "high_effort"],
+        )
+    return db
+
+
+@pytest.fixture(scope="module")
+def rag(small_database):
+    design = generate_family_variant("rocket", 1)
+    circuit = build_circuit_graph(design.verilog, design.name, top=design.top)
+    return SynthRAG.build(small_database, circuit=circuit, llm=chatls_core())
+
+
+class TestDomainRerank:
+    def make_hits(self, sims, metrics):
+        return [
+            SearchResult(key=i, score=s, payload=m)
+            for i, (s, m) in enumerate(zip(sims, metrics))
+        ]
+
+    def test_similarity_dominates_with_high_alpha(self):
+        hits = self.make_hits([0.9, 0.1], [0.0, 100.0])
+        out = domain_rerank(hits, characteristic=lambda m: m, alpha=0.9, beta=0.1)
+        assert out[0].key == 0
+
+    def test_characteristic_breaks_ties(self):
+        hits = self.make_hits([0.5, 0.5], [1.0, 2.0])
+        out = domain_rerank(hits, characteristic=lambda m: m, alpha=0.7, beta=0.3)
+        assert out[0].key == 1
+
+    def test_lower_is_better_flip(self):
+        hits = self.make_hits([0.5, 0.5], [10.0, 20.0])  # e.g. area
+        out = domain_rerank(
+            hits, characteristic=lambda m: m, higher_is_better=False
+        )
+        assert out[0].key == 0
+
+    def test_empty_input(self):
+        assert domain_rerank([], characteristic=lambda m: m) == []
+
+
+class TestManualRetrieval:
+    def test_topical_hit(self):
+        retriever = ManualRetriever()
+        hits = retriever.retrieve("retime registers pipeline stages", k=2)
+        assert any(h.command == "optimize_registers" for h in hits)
+
+    def test_distractors_not_retrieved_for_synthesis_query(self):
+        retriever = ManualRetriever()
+        hits = retriever.retrieve("high fanout buffer insertion", k=3)
+        assert all(
+            h.command not in ("gui_start", "mail_report", "license_checkout")
+            for h in hits
+        )
+
+    def test_llm_reranker_applied(self):
+        retriever = ManualRetriever(reranker=LLMReranker(chatls_core()))
+        hits = retriever.retrieve("flatten hierarchy before compile", k=2)
+        assert hits
+        assert hits[0].command in ("ungroup", "set_flatten", "compile_ultra")
+
+    def test_lookup(self):
+        retriever = ManualRetriever()
+        assert retriever.lookup("compile") is not None
+        assert retriever.lookup("imaginary_cmd") is None
+
+    def test_corpus_has_distractors(self):
+        entries = manual_corpus()
+        assert any(not e.is_synthesis for e in entries)
+        assert sum(e.is_synthesis for e in entries) >= 10
+
+
+class TestLibraryGraph:
+    def test_all_cells_loaded(self):
+        lib = nangate45()
+        store = load_library_graph(lib)
+        assert len(list(store.nodes("LibCell"))) == len(lib.cells())
+
+    def test_cell_properties_queryable(self, rag):
+        info = rag.cell_info("INV_X1")
+        assert info is not None
+        values = list(info.values())
+        assert "INV_X1" in values
+
+
+class TestStructureRetrieval:
+    def test_module_code_fetch(self, rag):
+        code = rag.module_code("rocket_v1_alu")
+        assert code is not None
+        assert "module rocket_v1_alu" in code
+
+    def test_missing_module_returns_none(self, rag):
+        assert rag.module_code("nonexistent_module") is None
+
+    def test_raw_cypher_against_circuit(self, rag):
+        rows = rag.cypher("MATCH (m:Module) RETURN count(*) AS n")
+        assert rows[0]["n"] >= 3
+
+
+class TestEmbeddingRetrieval:
+    def test_strategy_hits_complete(self, small_database, rag):
+        entry = small_database.entries["rocket_v0"]
+        hits = rag.retrieve_strategies(entry.embedding, k=2)
+        assert len(hits) == 2
+        for hit in hits:
+            assert hit.strategy in STRATEGIES
+            assert "cps" in hit.characteristics
+
+    def test_self_retrieval_top_hit(self, small_database, rag):
+        entry = small_database.entries["sha3_v0"]
+        hits = rag.similar_designs(entry.embedding, k=1)
+        assert hits[0].key == "sha3_v0"
+
+
+class TestKnowledge:
+    def test_retiming_pathology_maps_to_retime(self):
+        strategies = strategies_for_pathologies(
+            ["timing_violated", "register_imbalance"]
+        )
+        assert strategies[0].name == "ultra_retime"
+
+    def test_fanout_pathology_maps_to_buffering(self):
+        strategies = strategies_for_pathologies(["timing_violated", "high_fanout"])
+        assert strategies[0].name == "fanout_buffered"
+
+    def test_met_timing_maps_to_area_recovery(self):
+        strategies = strategies_for_pathologies(["high_fanout"])  # not violated
+        assert [s.name for s in strategies] == ["area_recovery"]
+
+    def test_violated_with_no_specific_pathology(self):
+        strategies = strategies_for_pathologies(["timing_violated"])
+        assert strategies[0].name == "ultra_flatten"
+
+    def test_render_section_lists_commands(self):
+        strategies = strategies_for_pathologies(
+            ["timing_violated", "register_imbalance"]
+        )
+        text = render_strategy_section(pathology_strategies=strategies)
+        assert "- command: compile_ultra -retime" in text
+
+    def test_render_dedupes_commands(self):
+        strategies = strategies_for_pathologies(
+            ["timing_violated", "register_imbalance"]
+        )
+        text = render_strategy_section(
+            pathology_strategies=strategies + strategies
+        )
+        assert text.count("- command: optimize_registers") == 1
+
+
+class TestTable1:
+    def test_four_rows(self, rag):
+        rows = rag.table1()
+        assert len(rows) == 4
+        assert {r["representation"] for r in rows} == {
+            "Graph Embedding",
+            "Graph Structure",
+            "LLM Embedding",
+        }
+
+    def test_command_exists_check(self, rag):
+        assert rag.command_exists("compile_ultra -retime")
+        assert not rag.command_exists("retime_design -effort high")

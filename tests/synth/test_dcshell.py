@@ -1,0 +1,180 @@
+"""End-to-end tests for the DC-style synthesis shell."""
+
+import pytest
+
+from repro.synth import DCShell
+
+PIPE_SRC = """
+module pipe(input clk, input [15:0] a, input [15:0] b, output reg [15:0] y);
+  reg [15:0] s1;
+  reg [15:0] s2;
+  always @(posedge clk) begin
+    s1 <= a + b;
+    s2 <= s1 * 16'd3;
+    y <= s2 ^ {s2[7:0], s2[15:8]};
+  end
+endmodule
+"""
+
+BASE_SCRIPT = """
+read_verilog pipe
+current_design pipe
+link
+set_wire_load_model -name 5K_heavy_1k
+create_clock -period {period} clk
+compile
+report_qor
+"""
+
+
+@pytest.fixture
+def shell():
+    s = DCShell()
+    s.add_design("pipe", PIPE_SRC)
+    return s
+
+
+class TestScriptExecution:
+    def test_basic_flow_succeeds(self, shell):
+        result = shell.run_script(BASE_SCRIPT.format(period=2.0))
+        assert result.success
+        assert result.qor is not None
+        assert result.qor.area > 0
+        assert result.qor.num_registers == 48
+
+    def test_unknown_command_fails_script(self, shell):
+        result = shell.run_script("read_verilog pipe\nmake_it_faster -please")
+        assert not result.success
+        assert "make_it_faster" in result.error
+
+    def test_unknown_design_fails(self, shell):
+        result = shell.run_script("read_verilog mystery_chip")
+        assert not result.success
+        assert "mystery_chip" in result.error
+
+    def test_compile_before_read_fails(self, shell):
+        result = shell.run_script("compile")
+        assert not result.success
+
+    def test_bad_wireload_fails(self, shell):
+        result = shell.run_script(
+            "read_verilog pipe\nset_wire_load_model -name nonexistent"
+        )
+        assert not result.success
+
+    def test_transcript_records_commands(self, shell):
+        result = shell.run_script(BASE_SCRIPT.format(period=2.0))
+        commands = [line for line, _ in result.transcript]
+        assert any(c.startswith("compile") for c in commands)
+
+    def test_variables_in_script(self, shell):
+        script = """
+        set PERIOD 2.0
+        read_verilog pipe
+        create_clock -period $PERIOD clk
+        compile
+        """
+        result = shell.run_script(script)
+        assert result.success
+        assert shell.constraints.clock_period == 2.0
+
+
+class TestQoREffects:
+    def test_tighter_clock_worse_slack(self):
+        results = {}
+        for period in (0.8, 3.0):
+            shell = DCShell()
+            shell.add_design("pipe", PIPE_SRC)
+            results[period] = shell.run_script(BASE_SCRIPT.format(period=period)).qor
+        assert results[0.8].cps < results[3.0].cps
+
+    def test_compile_ultra_beats_compile(self):
+        period = 0.7
+        qors = {}
+        for name, command in [("basic", "compile"), ("ultra", "compile_ultra")]:
+            shell = DCShell()
+            shell.add_design("pipe", PIPE_SRC)
+            script = BASE_SCRIPT.format(period=period).replace("compile\n", command + "\n")
+            qors[name] = shell.run_script(script).qor
+        assert qors["ultra"].cps >= qors["basic"].cps
+
+    def test_retiming_option_helps_imbalanced_pipe(self):
+        period = 0.62
+        qors = {}
+        for name, command in [("plain", "compile_ultra"), ("retime", "compile_ultra -retime")]:
+            shell = DCShell()
+            shell.add_design("pipe", PIPE_SRC)
+            script = BASE_SCRIPT.format(period=period).replace(
+                "compile\n", command + "\n"
+            )
+            qors[name] = shell.run_script(script).qor
+        assert qors["retime"].cps >= qors["plain"].cps
+
+    def test_optimize_registers_command(self, shell):
+        script = BASE_SCRIPT.format(period=0.62) + "\noptimize_registers\n"
+        result = shell.run_script(script)
+        assert result.success
+
+    def test_max_fanout_constraint_enforced(self):
+        shell = DCShell()
+        src = """
+        module hf(input sel, input [63:0] a, input [63:0] b, output [63:0] y);
+          assign y = sel ? a : b;
+        endmodule
+        """
+        shell.add_design("hf", src)
+        result = shell.run_script(
+            """
+            read_verilog hf
+            create_clock -period 2.0 clk
+            set_max_fanout 10
+            compile
+            """
+        )
+        assert result.success
+        assert result.qor.max_fanout <= 10
+
+    def test_set_max_area_triggers_recovery(self):
+        shell = DCShell()
+        shell.add_design("pipe", PIPE_SRC)
+        script = """
+        read_verilog pipe
+        create_clock -period 5.0 clk
+        set_max_area 0
+        compile
+        """
+        unconstrained = DCShell()
+        unconstrained.add_design("pipe", PIPE_SRC)
+        loose = unconstrained.run_script(
+            "read_verilog pipe\ncreate_clock -period 5.0 clk\ncompile"
+        )
+        constrained = shell.run_script(script)
+        assert constrained.qor.area <= loose.qor.area
+
+
+class TestReports:
+    def test_report_qor_text(self, shell):
+        result = shell.run_script(BASE_SCRIPT.format(period=2.0))
+        qor_text = [out for line, out in result.transcript if line == "report_qor"][0]
+        assert "Critical Path Slack" in qor_text
+        assert "Design Area" in qor_text
+
+    def test_report_timing_text(self, shell):
+        shell.run_script(BASE_SCRIPT.format(period=2.0))
+        text = shell.timing_report()
+        assert "Startpoint" in text
+        assert "slack" in text
+
+    def test_report_area_text(self, shell):
+        result = shell.run_script(
+            BASE_SCRIPT.format(period=2.0) + "\nreport_area\n"
+        )
+        area_text = [out for line, out in result.transcript if line == "report_area"][0]
+        assert "Total cell area" in area_text
+
+    def test_report_power_text(self, shell):
+        result = shell.run_script(
+            BASE_SCRIPT.format(period=2.0) + "\nreport_power\n"
+        )
+        power_text = [out for line, out in result.transcript if line == "report_power"][0]
+        assert "Leakage" in power_text

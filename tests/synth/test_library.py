@@ -1,0 +1,126 @@
+"""Tests for the technology library and liberty parser."""
+
+import pytest
+
+from repro.synth import LibCell, TechLibrary, nangate45, parse_liberty, write_liberty
+from repro.synth.liberty import LibertyError
+
+
+class TestTechLibrary:
+    def test_builtin_covers_all_generic_gates(self):
+        lib = nangate45()
+        from repro.hdl.netlist import GENERIC_GATES
+
+        mappable = set(GENERIC_GATES) - {"CONST0", "CONST1"}
+        assert mappable <= lib.functions()
+
+    def test_drive_variants_sorted(self):
+        lib = nangate45()
+        drives = [c.drive for c in lib.variants("NAND2")]
+        assert drives == sorted(drives)
+
+    def test_weakest_and_upsize(self):
+        lib = nangate45()
+        weak = lib.weakest("AND2")
+        assert weak.drive == 1
+        up = lib.next_size_up(weak)
+        assert up.drive > weak.drive
+        top = lib.variants("AND2")[-1]
+        assert lib.next_size_up(top) is None
+
+    def test_stronger_cells_faster_under_load(self):
+        lib = nangate45()
+        weak = lib.weakest("NAND2")
+        strong = lib.variants("NAND2")[-1]
+        assert strong.delay(50.0) < weak.delay(50.0)
+        assert strong.area > weak.area
+
+    def test_dff_has_sequential_params(self):
+        lib = nangate45()
+        dff = lib.weakest("DFF")
+        assert dff.is_sequential
+        assert dff.setup > 0
+        assert dff.clk_to_q > 0
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            nangate45().cell("NAND99_X9")
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            nangate45().weakest("LUT6")
+
+    def test_duplicate_cell_rejected(self):
+        cell = LibCell("X_X1", "BUF", 1, 1.0, 1.0, 4.0, 0.02, 1.0)
+        with pytest.raises(ValueError):
+            TechLibrary("t", [cell, cell])
+
+    def test_inverter_cheapest_gate(self):
+        lib = nangate45()
+        inv = lib.weakest("NOT")
+        for function in ("AND2", "XOR2", "MUX2"):
+            assert inv.area <= lib.weakest(function).area
+
+
+class TestLiberty:
+    def test_round_trip(self):
+        lib = nangate45()
+        text = write_liberty(lib)
+        parsed = parse_liberty(text)
+        assert parsed.name == lib.name
+        assert len(parsed.cells()) == len(lib.cells())
+        for cell in lib.cells():
+            other = parsed.cell(cell.name)
+            assert other.area == pytest.approx(cell.area)
+            assert other.drive_res == pytest.approx(cell.drive_res)
+            assert other.function == cell.function
+            if cell.is_sequential:
+                assert other.setup == pytest.approx(cell.setup)
+
+    def test_parse_minimal_library(self):
+        text = """
+        library (mini) {
+          cell (INV_X1) {
+            area : 0.5;
+            function_class : "NOT";
+            drive_strength : 1;
+            pin (o) { direction : output; drive_resistance : 4.0; intrinsic_delay : 0.01; }
+            pin (a) { direction : input; capacitance : 1.0; }
+          }
+        }
+        """
+        lib = parse_liberty(text)
+        assert lib.name == "mini"
+        assert lib.cell("INV_X1").function == "NOT"
+
+    def test_comments_ignored(self):
+        text = """
+        /* header */
+        library (c) {
+          // one cell
+          cell (B_X1) {
+            area : 1.0;
+            function_class : "BUF";
+            pin (o) { direction : output; }
+            pin (a) { direction : input; capacitance : 1.0; }
+          }
+        }
+        """
+        assert parse_liberty(text).cell("B_X1").area == 1.0
+
+    def test_missing_output_pin_rejected(self):
+        text = """
+        library (bad) {
+          cell (B_X1) { area : 1.0; pin (a) { direction : input; } }
+        }
+        """
+        with pytest.raises(LibertyError):
+            parse_liberty(text)
+
+    def test_non_library_top_rejected(self):
+        with pytest.raises(LibertyError):
+            parse_liberty("cell (X) { }")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(LibertyError):
+            parse_liberty("library (x) { @@@ }")

@@ -1,0 +1,222 @@
+"""Tests for timing-driven optimization passes.
+
+Each pass must (a) move QoR in the promised direction and (b) preserve
+functionality, checked by simulation where the design is combinational.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hdl import elaborate
+from repro.hdl.sim import Simulator
+from repro.synth import (
+    Constraints,
+    TimingEngine,
+    balance_chains,
+    buffer_high_fanout,
+    get_wireload,
+    nangate45,
+    recover_area,
+    retime,
+    size_gates,
+)
+from repro.synth.techmap import cleanup, map_to_library
+
+LIB = nangate45()
+WL = get_wireload("5K_heavy_1k")
+
+
+def prepared(src, top, flatten=True):
+    nl = elaborate(src, top)
+    map_to_library(nl, LIB)
+    cleanup(nl, LIB, flatten=flatten)
+    map_to_library(nl, LIB)
+    return nl
+
+
+def analyze(nl, period):
+    eng = TimingEngine(nl, LIB, WL, Constraints(clock_period=period))
+    return eng.analyze(), eng
+
+
+WIDE_XOR = """
+module wide(input [31:0] a, input [31:0] b, output y);
+  assign y = ^(a ^ b);
+endmodule
+"""
+
+HIGH_FANOUT = """
+module hf(input sel, input [63:0] a, input [63:0] b, output [63:0] y);
+  assign y = sel ? a : b;
+endmodule
+"""
+
+IMBALANCED_PIPE = """
+module imb(input clk, input [7:0] a, input [7:0] b, output reg [15:0] q);
+  reg [7:0] ra, rb;
+  reg [15:0] m;
+  always @(posedge clk) begin
+    ra <= a;
+    rb <= b;
+    m <= (ra * rb) + {ra, rb};
+    q <= m;
+  end
+endmodule
+"""
+
+
+class TestGateSizing:
+    def test_sizing_improves_violated_slack(self):
+        nl = prepared(WIDE_XOR, "wide")
+        report, _ = analyze(nl, 0.4)
+        if report.cps >= 0:
+            pytest.skip("design already meets the tight period")
+        result = size_gates(nl, LIB, WL, Constraints(clock_period=0.4))
+        assert result.wns_after >= result.wns_before
+        assert result.changes > 0
+        assert result.area_after >= result.area_before
+
+    def test_sizing_noop_when_met(self):
+        nl = prepared(WIDE_XOR, "wide")
+        result = size_gates(nl, LIB, WL, Constraints(clock_period=50.0))
+        assert result.changes == 0
+
+    def test_sizing_preserves_function(self):
+        nl = prepared(WIDE_XOR, "wide")
+        rng = np.random.default_rng(1)
+        vectors = [
+            (int(rng.integers(0, 2**32)), int(rng.integers(0, 2**32)))
+            for _ in range(6)
+        ]
+
+        def signature():
+            out = []
+            for a, b in vectors:
+                sim = Simulator(nl)
+                sim.set_word("a", a, 32)
+                sim.set_word("b", b, 32)
+                sim.settle()
+                out.append(sim.values["y"])
+            return out
+
+        before = signature()
+        size_gates(nl, LIB, WL, Constraints(clock_period=0.3))
+        assert signature() == before
+
+
+class TestAreaRecovery:
+    def test_downsizing_reduces_area_with_slack(self):
+        nl = prepared(WIDE_XOR, "wide")
+        # First upsize everything, then recover with a loose clock.
+        for cell in nl.cells.values():
+            if cell.lib_cell:
+                strongest = LIB.variants(LIB.cell(cell.lib_cell).function)[-1]
+                cell.lib_cell = strongest.name
+        result = recover_area(nl, LIB, WL, Constraints(clock_period=50.0))
+        assert result.changes > 0
+        assert result.area_after < result.area_before
+        assert result.wns_after >= 0
+
+    def test_no_recovery_when_critical(self):
+        nl = prepared(WIDE_XOR, "wide")
+        result = recover_area(nl, LIB, WL, Constraints(clock_period=0.01))
+        assert result.changes == 0
+
+
+class TestFanoutBuffering:
+    def test_buffers_cap_fanout(self):
+        nl = prepared(HIGH_FANOUT, "hf")
+        worst_before = max(nl.fanout(n) for n in nl.nets)
+        assert worst_before > 16  # sel drives 64 muxes
+        result = buffer_high_fanout(
+            nl, LIB, WL, Constraints(clock_period=2.0), max_fanout=16
+        )
+        assert result.changes > 0
+        nl.validate()
+        worst_after = max(nl.fanout(n) for n in nl.nets)
+        assert worst_after <= 16
+
+    def test_buffering_improves_fanout_limited_timing(self):
+        nl = prepared(HIGH_FANOUT, "hf")
+        report_before, _ = analyze(nl, 1.0)
+        result = buffer_high_fanout(
+            nl, LIB, WL, Constraints(clock_period=1.0), max_fanout=12
+        )
+        assert result.wns_after > report_before.cps
+
+    def test_buffering_preserves_function(self):
+        nl = prepared(HIGH_FANOUT, "hf")
+        buffer_high_fanout(nl, LIB, WL, Constraints(clock_period=1.0), max_fanout=8)
+        sim = Simulator(nl)
+        sim.set_word("a", 12345, 64)
+        sim.set_word("b", 67890, 64)
+        sim.set_word("sel", 1, 1)
+        sim.settle()
+        assert sim.get_word("y", 64) == 12345
+        sim.set_word("sel", 0, 1)
+        sim.settle()
+        assert sim.get_word("y", 64) == 67890
+
+
+class TestRetiming:
+    def test_retiming_balances_pipeline(self):
+        nl = prepared(IMBALANCED_PIPE, "imb")
+        report_before, _ = analyze(nl, 0.6)
+        assert report_before.cps < 0  # multiplier stage violates
+        result = retime(nl, LIB, WL, Constraints(clock_period=0.6))
+        nl.validate()
+        assert result.changes > 0
+        assert result.wns_after > result.wns_before
+
+    def test_retiming_keeps_latency(self):
+        """A retimed pipeline still produces the same result, same cycle."""
+        nl = prepared(IMBALANCED_PIPE, "imb")
+        golden = prepared(IMBALANCED_PIPE, "imb")
+        retime(nl, LIB, WL, Constraints(clock_period=0.6))
+
+        def run(netlist, a, b, cycles=5):
+            sim = Simulator(netlist)
+            sim.set_word("a", a, 8)
+            sim.set_word("b", b, 8)
+            outs = []
+            for _ in range(cycles):
+                sim.step()
+                outs.append(sim.get_word("q", 16))
+            return outs
+
+        for a, b in [(3, 5), (200, 17), (255, 255)]:
+            assert run(nl, a, b) == run(golden, a, b)
+
+    def test_retiming_noop_when_met(self):
+        nl = prepared(IMBALANCED_PIPE, "imb")
+        result = retime(nl, LIB, WL, Constraints(clock_period=100.0))
+        assert result.changes == 0
+
+
+class TestChainBalancing:
+    def test_balancing_reduces_depth(self):
+        # A deliberately linear XOR chain.
+        src = """
+        module chain(input [15:0] a, output y);
+          assign y = a[0] ^ a[1] ^ a[2] ^ a[3] ^ a[4] ^ a[5] ^ a[6] ^ a[7]
+                   ^ a[8] ^ a[9] ^ a[10] ^ a[11] ^ a[12] ^ a[13] ^ a[14] ^ a[15];
+        endmodule
+        """
+        nl = prepared(src, "chain")
+        report_before, _ = analyze(nl, 1.0)
+        result = balance_chains(nl, LIB)
+        nl.validate()
+        assert result.changes >= 1
+        report_after, _ = analyze(nl, 1.0)
+        assert report_after.cps > report_before.cps
+
+        sim = Simulator(nl)
+        for value in (0xFFFF, 0x0001, 0x1234):
+            sim.set_word("a", value, 16)
+            sim.settle()
+            assert sim.values["y"] == bin(value).count("1") % 2
+
+    def test_balancing_skips_short_chains(self):
+        src = "module m(input a, b, output y); assign y = a ^ b; endmodule"
+        nl = prepared(src, "m")
+        assert balance_chains(nl, LIB).changes == 0

@@ -1,0 +1,143 @@
+"""Property-based invariants for optimization passes.
+
+Random combinational/sequential netlists are pushed through every pass;
+afterwards the netlist must (a) remain structurally valid and (b) compute
+the same function, proven by exhaustive or sampled simulation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl.netlist import Netlist
+from repro.hdl.sim import Simulator
+from repro.synth import (
+    Constraints,
+    balance_chains,
+    buffer_high_fanout,
+    get_wireload,
+    nangate45,
+    recover_area,
+    size_gates,
+)
+from repro.synth.techmap import cleanup, map_to_library
+
+LIB = nangate45()
+WL = get_wireload("5K_heavy_1k")
+
+_GATES = ["AND2", "OR2", "XOR2", "NAND2", "NOR2", "XNOR2", "NOT", "BUF", "MUX2"]
+
+
+@st.composite
+def random_netlist(draw, max_gates=25, num_inputs=5):
+    """A random combinational DAG netlist over ``num_inputs`` inputs."""
+    netlist = Netlist("rand")
+    nets = []
+    for i in range(num_inputs):
+        netlist.add_net(f"in{i}", is_input=True)
+        nets.append(f"in{i}")
+    num_gates = draw(st.integers(3, max_gates))
+    for g in range(num_gates):
+        gate = draw(st.sampled_from(_GATES))
+        arity = {"NOT": 1, "BUF": 1, "MUX2": 3}.get(gate, 2)
+        inputs = [draw(st.sampled_from(nets)) for _ in range(arity)]
+        out = f"g{g}"
+        netlist.add_cell(gate, inputs, out)
+        nets.append(out)
+    # Choose 2 output nets among the last created gates.
+    out_count = draw(st.integers(1, 2))
+    for i in range(out_count):
+        src = nets[-(i + 1)]
+        port = netlist.add_net(f"out{i}", is_output=True)
+        netlist.add_cell("BUF", [src], port.name)
+    return netlist
+
+
+def signature(netlist, num_inputs=5, samples=16, seed=0):
+    rng = np.random.default_rng(seed)
+    outs = []
+    for _ in range(samples):
+        sim = Simulator(netlist)
+        for i in range(num_inputs):
+            sim.set_input(f"in{i}", int(rng.integers(2)))
+        sim.settle()
+        outs.append(tuple(sim.values[n] for n in sorted(netlist.primary_outputs)))
+    return outs
+
+
+class TestPassInvariants:
+    @given(random_netlist())
+    @settings(max_examples=25, deadline=None)
+    def test_cleanup_preserves_function(self, netlist):
+        before = signature(netlist)
+        map_to_library(netlist, LIB)
+        cleanup(netlist, LIB, flatten=True)
+        netlist.validate()
+        assert signature(netlist) == before
+
+    @given(random_netlist())
+    @settings(max_examples=15, deadline=None)
+    def test_balance_chains_preserves_function(self, netlist):
+        before = signature(netlist)
+        map_to_library(netlist, LIB)
+        balance_chains(netlist, LIB)
+        netlist.validate()
+        assert signature(netlist) == before
+
+    @given(random_netlist(), st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_buffering_preserves_function_and_caps_fanout(self, netlist, limit):
+        before = signature(netlist)
+        map_to_library(netlist, LIB)
+        buffer_high_fanout(netlist, LIB, WL, Constraints(), max_fanout=limit)
+        netlist.validate()
+        assert signature(netlist) == before
+        for name in netlist.nets:
+            driver = netlist.driver_cell(name)
+            if driver is not None and driver.gate in ("CONST0", "CONST1"):
+                continue
+            pin_counts = [
+                netlist.cells[s].inputs.count(name)
+                for s in netlist.nets[name].sinks
+            ]
+            data_pins = sum(pin_counts)
+            heaviest = max(pin_counts, default=1)
+            # One indivisible multi-pin sink may exceed the limit alone.
+            assert data_pins <= max(limit, heaviest)
+
+    @given(random_netlist())
+    @settings(max_examples=10, deadline=None)
+    def test_sizing_never_changes_function(self, netlist):
+        before = signature(netlist)
+        map_to_library(netlist, LIB)
+        size_gates(netlist, LIB, WL, Constraints(clock_period=0.05), max_rounds=8)
+        netlist.validate()
+        assert signature(netlist) == before
+
+    @given(random_netlist())
+    @settings(max_examples=10, deadline=None)
+    def test_area_recovery_never_increases_area(self, netlist):
+        map_to_library(netlist, LIB)
+        from repro.synth import TimingEngine
+
+        engine = TimingEngine(netlist, LIB, WL, Constraints(clock_period=100.0))
+        before_area = engine.total_area()
+        result = recover_area(netlist, LIB, WL, Constraints(clock_period=100.0))
+        assert result.area_after <= before_area + 1e-9
+        netlist.validate()
+
+    @given(random_netlist())
+    @settings(max_examples=10, deadline=None)
+    def test_passes_compose(self, netlist):
+        """The full ultra-style sequence keeps validity + function."""
+        before = signature(netlist)
+        map_to_library(netlist, LIB)
+        cleanup(netlist, LIB, flatten=True)
+        balance_chains(netlist, LIB)
+        cleanup(netlist, LIB, flatten=True)
+        map_to_library(netlist, LIB)
+        size_gates(netlist, LIB, WL, Constraints(clock_period=0.1), max_rounds=5)
+        buffer_high_fanout(netlist, LIB, WL, Constraints(), max_fanout=4)
+        netlist.validate()
+        assert signature(netlist) == before

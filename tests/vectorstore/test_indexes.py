@@ -1,0 +1,181 @@
+"""Tests for the vector indexes: exactness, metrics, IVF recall."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.vectorstore import FlatIndex, IVFIndex, pairwise_scores
+
+
+class TestMetrics:
+    def test_cosine_self_similarity(self):
+        v = np.array([[1.0, 2.0, 3.0]])
+        assert pairwise_scores(v, v, "cosine")[0, 0] == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        assert pairwise_scores(a, b, "cosine")[0, 0] == pytest.approx(0.0)
+
+    def test_l2_zero_distance(self):
+        v = np.array([[1.0, 2.0]])
+        assert pairwise_scores(v, v, "l2")[0, 0] == pytest.approx(0.0)
+
+    def test_l2_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=(3, 5))
+        d = rng.normal(size=(4, 5))
+        scores = pairwise_scores(q, d, "l2")
+        for i in range(3):
+            for j in range(4):
+                assert -scores[i, j] == pytest.approx(np.linalg.norm(q[i] - d[j]))
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_scores(np.ones((1, 2)), np.ones((1, 2)), "hamming")
+
+    def test_inner_product(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0, 4.0]])
+        assert pairwise_scores(a, b, "ip")[0, 0] == pytest.approx(11.0)
+
+
+class TestFlatIndex:
+    def test_basic_search(self):
+        idx = FlatIndex(dim=2)
+        idx.add("x", [1, 0], payload="east")
+        idx.add("y", [0, 1], payload="north")
+        results = idx.search([0.9, 0.1], k=1)
+        assert results[0].key == "x"
+        assert results[0].payload == "east"
+
+    def test_k_larger_than_index(self):
+        idx = FlatIndex(dim=2)
+        idx.add("a", [1, 0])
+        assert len(idx.search([1, 0], k=10)) == 1
+
+    def test_empty_index_search(self):
+        assert FlatIndex(dim=3).search([1, 2, 3]) == []
+
+    def test_duplicate_key_rejected(self):
+        idx = FlatIndex(dim=2)
+        idx.add("a", [1, 0])
+        with pytest.raises(ValueError):
+            idx.add("a", [0, 1])
+
+    def test_dim_mismatch_rejected(self):
+        idx = FlatIndex(dim=3)
+        with pytest.raises(ValueError):
+            idx.add("a", [1, 2])
+        idx.add("b", [1, 2, 3])
+        with pytest.raises(ValueError):
+            idx.search([1, 2])
+
+    def test_remove(self):
+        idx = FlatIndex(dim=2)
+        idx.add("a", [1, 0])
+        idx.add("b", [0, 1])
+        idx.remove("a")
+        assert "a" not in idx
+        assert idx.search([1, 0], k=1)[0].key == "b"
+
+    def test_get_vector_round_trip(self):
+        idx = FlatIndex(dim=3)
+        idx.add("a", [1.5, 2.5, 3.5])
+        np.testing.assert_allclose(idx.get_vector("a"), [1.5, 2.5, 3.5])
+
+    def test_results_sorted_by_score(self):
+        idx = FlatIndex(dim=2, metric="l2")
+        for i in range(10):
+            idx.add(i, [float(i), 0.0])
+        results = idx.search([3.2, 0.0], k=4)
+        assert [r.key for r in results] == [3, 4, 2, 5]
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    @given(
+        arrays(np.float64, (12, 4), elements=st.floats(-5, 5)),
+        arrays(np.float64, (4,), elements=st.floats(-5, 5)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_search_matches_brute_force(self, data, query):
+        idx = FlatIndex(dim=4, metric="l2")
+        for i, row in enumerate(data):
+            idx.add(i, row)
+        results = idx.search(query, k=3)
+        brute = sorted(range(12), key=lambda i: np.linalg.norm(data[i] - query))
+        # Scores must agree even if equal-distance keys tie.
+        expect = np.linalg.norm(data[brute[0]] - query)
+        assert -results[0].score == pytest.approx(expect, abs=1e-9)
+
+
+class TestIVFIndex:
+    @pytest.fixture
+    def clustered_data(self):
+        rng = np.random.default_rng(7)
+        centers = rng.normal(scale=10, size=(6, 8))
+        points = np.vstack(
+            [center + rng.normal(scale=0.3, size=(20, 8)) for center in centers]
+        )
+        return points
+
+    def test_exhaustive_probe_matches_flat(self, clustered_data):
+        flat = FlatIndex(dim=8, metric="l2")
+        ivf = IVFIndex(dim=8, nlist=6, nprobe=6, metric="l2", seed=3)
+        for i, row in enumerate(clustered_data):
+            flat.add(i, row)
+            ivf.add(i, row)
+        query = clustered_data[5] + 0.05
+        assert [r.key for r in ivf.search(query, k=5)] == [
+            r.key for r in flat.search(query, k=5)
+        ]
+
+    def test_high_recall_with_few_probes(self, clustered_data):
+        flat = FlatIndex(dim=8, metric="l2")
+        ivf = IVFIndex(dim=8, nlist=6, nprobe=2, metric="l2", seed=3)
+        for i, row in enumerate(clustered_data):
+            flat.add(i, row)
+            ivf.add(i, row)
+        hits = 0
+        for q in range(0, 120, 10):
+            query = clustered_data[q] + 0.01
+            truth = {r.key for r in flat.search(query, k=5)}
+            approx = {r.key for r in ivf.search(query, k=5)}
+            hits += len(truth & approx)
+        assert hits / (12 * 5) > 0.9
+
+    def test_lazy_training(self, clustered_data):
+        ivf = IVFIndex(dim=8, nlist=4)
+        for i, row in enumerate(clustered_data[:30]):
+            ivf.add(i, row)
+        assert not ivf.is_trained
+        ivf.search(clustered_data[0], k=1)
+        assert ivf.is_trained
+
+    def test_train_empty_raises(self):
+        with pytest.raises(ValueError):
+            IVFIndex(dim=4).train()
+
+    def test_add_after_search_retrains(self, clustered_data):
+        ivf = IVFIndex(dim=8, nlist=4, nprobe=4, metric="l2")
+        for i, row in enumerate(clustered_data[:40]):
+            ivf.add(i, row)
+        ivf.search(clustered_data[0], k=1)
+        ivf.add(999, clustered_data[50])
+        results = ivf.search(clustered_data[50], k=1)
+        assert results[0].key == 999
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            IVFIndex(dim=0)
+        with pytest.raises(ValueError):
+            IVFIndex(dim=4, nlist=0)
+
+    def test_cosine_metric(self, clustered_data):
+        ivf = IVFIndex(dim=8, nlist=6, nprobe=6, metric="cosine", seed=1)
+        for i, row in enumerate(clustered_data):
+            ivf.add(i, row)
+        result = ivf.search(clustered_data[0] * 3.0, k=1)  # scale-invariant
+        assert result[0].score == pytest.approx(1.0, abs=1e-6)
