@@ -1,0 +1,34 @@
+"""Perf microbenchmark suite.
+
+Each test measures one layer of the performance stack (incremental STA,
+synthesis result cache, parallel evaluation), asserts its acceptance
+threshold, and records the raw numbers.  On session exit the collected
+measurements are written to ``BENCH_perf.json`` at the repo root so CI
+runs leave a machine-readable artifact.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="session")
+def bench_results() -> dict[str, dict]:
+    """Mutable session-wide store; keys become BENCH_perf.json sections."""
+    return RESULTS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not RESULTS:
+        return
+    path = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
+    path.write_text(json.dumps(RESULTS, indent=2, sort_keys=True) + "\n")

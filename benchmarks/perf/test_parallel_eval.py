@@ -1,0 +1,52 @@
+"""Serial-uncached vs parallel+cached Table III subset (3 designs).
+
+Acceptance (ISSUE 1): >= 2x wall-clock improvement on the end-to-end
+customization comparison when the parallel executor and the caches
+(synthesis results + elaborated netlists) are on, with identical QoR
+rows out of both runs.  Both runs start cold.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.designs.database import build_default_database
+from repro.eval.harness import run_table3_customization
+from repro.synth.cache import clear_caches, default_cache
+
+DESIGNS = ["riscv32i", "swerv", "dynamic_node"]
+K = 3
+
+
+@pytest.fixture(scope="module")
+def small_database():
+    return build_default_database(variants_per_family=1)
+
+
+def test_parallel_cached_table3_speedup(bench_results, small_database, monkeypatch):
+    def run(jobs, cache_on):
+        monkeypatch.setenv("REPRO_SYNTH_CACHE", "1" if cache_on else "0")
+        clear_caches()
+        start = time.perf_counter()
+        table = run_table3_customization(
+            database=small_database, designs=DESIGNS, k=K, jobs=jobs
+        )
+        return time.perf_counter() - start, table
+
+    serial_s, serial = run(jobs=1, cache_on=False)
+    parallel_s, parallel = run(jobs=None, cache_on=True)
+    assert parallel.models == serial.models
+    assert parallel.baseline == serial.baseline
+    speedup = serial_s / parallel_s
+    cache_stats = default_cache().stats()
+    bench_results["parallel_eval"] = {
+        "designs": DESIGNS,
+        "k": K,
+        "serial_uncached_s": round(serial_s, 6),
+        "parallel_cached_s": round(parallel_s, 6),
+        "speedup": round(speedup, 2),
+        "cache": cache_stats,
+    }
+    assert speedup >= 2.0, f"parallel+cache speedup {speedup:.2f}x < 2x"

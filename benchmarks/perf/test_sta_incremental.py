@@ -1,0 +1,74 @@
+"""Incremental STA vs full re-analysis on a gate-sizing-style loop.
+
+Acceptance (ISSUE 1): >= 3x speedup on the resize loop, and *exact*
+agreement — WNS/CPS/TNS and every endpoint slack — with a from-scratch
+engine on all seven OpenCores benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.designs.opencores import benchmark_names, get_benchmark
+from repro.hdl import elaborate
+from repro.synth import Constraints, TimingEngine, get_wireload, nangate45
+from repro.synth.techmap import map_to_library
+
+LIBRARY = nangate45()
+WIRELOAD = get_wireload("5K_heavy_1k")
+RESIZES_PER_DESIGN = 20
+
+
+def _mapped(name):
+    bench = get_benchmark(name)
+    netlist = elaborate(bench.verilog, bench.top)
+    map_to_library(netlist, LIBRARY)
+    return netlist, Constraints(clock_period=bench.clock_period)
+
+
+def _random_resize(netlist, rng):
+    sized = [c for c in netlist.cells.values() if c.lib_cell is not None]
+    cell = rng.choice(sized)
+    variants = LIBRARY.variants(LIBRARY.cell(cell.lib_cell).function)
+    others = [v for v in variants if v.name != cell.lib_cell]
+    if others:
+        cell.lib_cell = rng.choice(others).name
+
+
+def test_incremental_sta_speedup_and_parity(bench_results):
+    rng = random.Random(20260806)
+    incremental_s = 0.0
+    full_s = 0.0
+    per_design = {}
+    for name in benchmark_names():
+        netlist, constraints = _mapped(name)
+        engine = TimingEngine(netlist, LIBRARY, WIRELOAD, constraints)
+        engine.analyze()
+        d_incr = d_full = 0.0
+        for _ in range(RESIZES_PER_DESIGN):
+            _random_resize(netlist, rng)
+            start = time.perf_counter()
+            incr = engine.analyze()
+            d_incr += time.perf_counter() - start
+            start = time.perf_counter()
+            ref = TimingEngine(netlist, LIBRARY, WIRELOAD, constraints).analyze()
+            d_full += time.perf_counter() - start
+            assert incr.endpoint_slacks == ref.endpoint_slacks, name
+            assert (incr.wns, incr.cps, incr.tns) == (ref.wns, ref.cps, ref.tns)
+        incremental_s += d_incr
+        full_s += d_full
+        per_design[name] = {
+            "incremental_s": round(d_incr, 6),
+            "full_s": round(d_full, 6),
+            "speedup": round(d_full / d_incr, 2) if d_incr else None,
+        }
+    speedup = full_s / incremental_s
+    bench_results["sta_incremental"] = {
+        "resizes_per_design": RESIZES_PER_DESIGN,
+        "incremental_s": round(incremental_s, 6),
+        "full_s": round(full_s, 6),
+        "speedup": round(speedup, 2),
+        "per_design": per_design,
+    }
+    assert speedup >= 3.0, f"incremental STA speedup {speedup:.2f}x < 3x"

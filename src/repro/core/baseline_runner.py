@@ -9,9 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..parallel import parallel_map
 from ..llm.base import LLMClient
 from ..llm.prompts import build_prompt, extract_script
-from ..synth.dcshell import DCShell
+from ..synth.cache import synthesize_cached
 from ..synth.library import TechLibrary, nangate45
 from ..synth.reports import QoRSnapshot
 
@@ -61,9 +62,11 @@ class BaselineRunner:
         prompt = self.build_prompt(requirement, baseline_script, tool_report, verilog)
         completion = self.llm.complete(prompt, seed=seed)
         script = extract_script(completion.text) or baseline_script
-        shell = DCShell(library=self.library)
-        shell.add_design(design_name, verilog, top=top)
-        result = shell.run_script(script)
+        # Seeds frequently draft identical scripts; the content-addressed
+        # cache makes the duplicates free.
+        result = synthesize_cached(
+            self.library, design_name, verilog, script, top=top
+        )
         return BaselineRun(
             script=script,
             executable=result.success,
@@ -81,13 +84,18 @@ class BaselineRunner:
         k: int = 5,
         tool_report: str = "",
         top: str | None = None,
+        jobs: int | None = None,
     ) -> BaselineRun:
-        """Best executable run over k seeds (Table III's Pass@5)."""
+        """Best executable run over k seeds (Table III's Pass@5).
+
+        Seeds are independent and run through the parallel executor; the
+        winner is selected in seed order, so the result is identical to a
+        serial sweep.
+        """
         from .chatls import _better_timing
 
-        best: BaselineRun | None = None
-        for seed in range(k):
-            run = self.run_once(
+        runs = parallel_map(
+            lambda seed: self.run_once(
                 verilog,
                 design_name,
                 baseline_script,
@@ -95,7 +103,13 @@ class BaselineRunner:
                 tool_report=tool_report,
                 top=top,
                 seed=seed,
-            )
+            ),
+            range(k),
+            jobs=jobs,
+            label="pass-at-k",
+        )
+        best: BaselineRun | None = None
+        for run in runs:
             if not run.executable or run.qor is None:
                 if best is None:
                     best = run

@@ -19,11 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..designs.database import ExpertDatabase
+from ..parallel import parallel_map
 from ..llm.base import LLMClient
 from ..llm.baselines import chatls_core
 from ..mentor.analyzer import DesignAnalysis, analyze_design
 from ..rag.synthrag import SynthRAG
-from ..synth.dcshell import DCShell
+from ..synth.cache import synthesize_cached
 from ..synth.library import TechLibrary, nangate45
 from ..synth.reports import QoRSnapshot
 from .generator import Generator
@@ -67,18 +68,15 @@ class ChatLS:
 
     # -- single customization -----------------------------------------------------
 
-    def customize(
+    def _prepare(
         self,
         verilog: str,
         design_name: str,
-        baseline_script: str,
         requirement: str | Requirement,
-        tool_report: str = "",
-        top: str | None = None,
-        clock_period: float = 1.0,
-        seed: int = 0,
-    ) -> CustomizationResult:
-        """Produce one customized synthesis script (no evaluation)."""
+        top: str | None,
+        clock_period: float,
+    ) -> tuple[Requirement, DesignAnalysis, SynthRAG]:
+        """Analysis + retrieval context, shared by every seed of a design."""
         if isinstance(requirement, str):
             requirement = parse_requirement(requirement)
         analysis = analyze_design(
@@ -96,6 +94,22 @@ class ChatLS:
         )
         if self.use_rag:
             rag.embedding_retriever.characteristic = requirement.rerank_characteristic
+        return requirement, analysis, rag
+
+    def _draft_and_refine(
+        self,
+        requirement: Requirement,
+        analysis: DesignAnalysis,
+        rag: SynthRAG,
+        baseline_script: str,
+        tool_report: str,
+        seed: int,
+    ) -> CustomizationResult:
+        """One seeded draft + SynthExpert refinement over a shared context.
+
+        Drafting and refinement only *read* the analysis and retrievers,
+        so pass@k seeds can share one context across worker threads.
+        """
         generator = Generator(self.llm, rag)
         draft = generator.draft(
             requirement,
@@ -115,6 +129,25 @@ class ChatLS:
             trace=trace,
             prompt=draft.prompt,
             seed=seed,
+        )
+
+    def customize(
+        self,
+        verilog: str,
+        design_name: str,
+        baseline_script: str,
+        requirement: str | Requirement,
+        tool_report: str = "",
+        top: str | None = None,
+        clock_period: float = 1.0,
+        seed: int = 0,
+    ) -> CustomizationResult:
+        """Produce one customized synthesis script (no evaluation)."""
+        requirement, analysis, rag = self._prepare(
+            verilog, design_name, requirement, top, clock_period
+        )
+        return self._draft_and_refine(
+            requirement, analysis, rag, baseline_script, tool_report, seed
         )
 
     # -- evaluated customization -----------------------------------------------------
@@ -141,9 +174,9 @@ class ChatLS:
             clock_period=clock_period,
             seed=seed,
         )
-        shell = DCShell(library=self.library)
-        shell.add_design(design_name, verilog, top=top)
-        run = shell.run_script(result.script)
+        run = synthesize_cached(
+            self.library, design_name, verilog, result.script, top=top
+        )
         result.executable = run.success
         result.error = run.error
         result.qor = run.qor
@@ -190,9 +223,9 @@ class ChatLS:
                 # incremental refinement commands for the residual
                 # violations, then re-run the tool.
                 extended = _extend_script(script)
-                shell = DCShell(library=self.library)
-                shell.add_design(design_name, verilog, top=top)
-                run = shell.run_script(extended)
+                run = synthesize_cached(
+                    self.library, design_name, verilog, extended, top=top
+                )
                 result = CustomizationResult(
                     script=extended,
                     analysis=history[0].analysis,
@@ -226,20 +259,34 @@ class ChatLS:
         tool_report: str = "",
         top: str | None = None,
         clock_period: float = 1.0,
+        jobs: int | None = None,
     ) -> CustomizationResult:
-        """Pass@k: best executable result over k seeded samples (Table III)."""
-        best: CustomizationResult | None = None
-        for seed in range(k):
-            result = self.customize_and_evaluate(
-                verilog,
-                design_name,
-                baseline_script,
-                requirement,
-                tool_report=tool_report,
-                top=top,
-                clock_period=clock_period,
-                seed=seed,
+        """Pass@k: best executable result over k seeded samples (Table III).
+
+        The design analysis and retrieval context are built once and
+        shared; only the seeded draft/refine/synthesize work fans out
+        through the parallel executor.  The winner is picked in seed
+        order, matching the serial sweep exactly.
+        """
+        prepared, analysis, rag = self._prepare(
+            verilog, design_name, requirement, top, clock_period
+        )
+
+        def sample(seed: int) -> CustomizationResult:
+            result = self._draft_and_refine(
+                prepared, analysis, rag, baseline_script, tool_report, seed
             )
+            run = synthesize_cached(
+                self.library, design_name, verilog, result.script, top=top
+            )
+            result.executable = run.success
+            result.error = run.error
+            result.qor = run.qor
+            return result
+
+        results = parallel_map(sample, range(k), jobs=jobs, label="pass-at-k")
+        best: CustomizationResult | None = None
+        for result in results:
             if not result.executable or result.qor is None:
                 if best is None:
                     best = result

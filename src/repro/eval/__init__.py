@@ -9,9 +9,12 @@ from .harness import (
     run_table4_baseline,
 )
 from .metrics import RetrievalScore, mean_f1, pass_at_k, precision_recall_f1
+from ..parallel import parallel_map, resolve_jobs
 from .tables import render_series, render_table
 
 __all__ = [
+    "parallel_map",
+    "resolve_jobs",
     "TIMING_REQUIREMENT",
     "baseline_script",
     "run_fig4_metric_learning",

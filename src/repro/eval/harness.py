@@ -19,9 +19,10 @@ from ..designs.opencores import Benchmark, benchmark_names, get_benchmark
 from ..llm.baselines import claude35, gpt4o
 from ..mentor.circuit_graph import build_circuit_graph
 from ..rag.retrievers import EmbeddingRetriever, ManualRetriever
-from ..synth.dcshell import DCShell
+from ..synth.cache import synthesize_cached
 from ..synth.reports import QoRSnapshot
 from .metrics import RetrievalScore, mean_f1, precision_recall_f1
+from ..parallel import parallel_map
 from .tables import render_series, render_table
 
 __all__ = [
@@ -74,20 +75,31 @@ class Table4Result:
         )
 
 
-def run_table4_baseline(designs: list[str] | None = None) -> Table4Result:
-    """Synthesize every benchmark with the baseline script."""
-    result = Table4Result()
-    for name in designs or benchmark_names():
+def run_table4_baseline(
+    designs: list[str] | None = None, jobs: int | None = None
+) -> Table4Result:
+    """Synthesize every benchmark with the baseline script.
+
+    Designs are independent, so they run through the parallel executor
+    (``jobs=None`` honours ``REPRO_JOBS``); identical re-runs are served
+    from the synthesis cache.
+    """
+    names = list(designs or benchmark_names())
+
+    def synthesize(name: str) -> tuple[str, QoRSnapshot, str]:
         bench = get_benchmark(name)
-        shell = DCShell()
-        shell.add_design(bench.name, bench.verilog, top=bench.top)
-        run = shell.run_script(baseline_script(bench))
+        run = synthesize_cached(
+            None, bench.name, bench.verilog, baseline_script(bench), top=bench.top
+        )
         if not run.success:
             raise RuntimeError(f"baseline failed for {name}: {run.error}")
-        result.rows[name] = run.qor
-        result.reports[name] = next(
-            out for line, out in run.transcript if line == "report_qor"
-        )
+        report = next(out for line, out in run.transcript if line == "report_qor")
+        return name, run.qor, report
+
+    result = Table4Result()
+    for name, qor, report in parallel_map(synthesize, names, jobs=jobs):
+        result.rows[name] = qor
+        result.reports[name] = report
     return result
 
 
@@ -124,33 +136,53 @@ def run_table3_customization(
     database: ExpertDatabase | None = None,
     designs: list[str] | None = None,
     k: int = 5,
+    baseline: Table4Result | None = None,
+    jobs: int | None = None,
 ) -> Table3Result:
-    """The full Table III comparison: GPT-4o vs Claude 3.5 vs ChatLS."""
+    """The full Table III comparison: GPT-4o vs Claude 3.5 vs ChatLS.
+
+    Callers that already ran Table IV pass it via ``baseline`` so its
+    netlists/reports are reused instead of re-synthesizing every design a
+    second time.  The (design, model) cells are independent and fan out
+    through the parallel executor; results are assembled in deterministic
+    design/model order regardless of completion order.
+    """
     database = database or build_default_database(variants_per_family=1)
-    table4 = run_table4_baseline(designs)
-    result = Table3Result(baseline=table4.rows)
+    names = list(designs or benchmark_names())
+    table4 = baseline or run_table4_baseline(names, jobs=jobs)
+    missing = [n for n in names if n not in table4.reports]
+    if missing:
+        raise ValueError(f"baseline result lacks designs: {missing}")
+    result = Table3Result(baseline={n: table4.rows[n] for n in names})
     runners = {
         "GPT-4o": BaselineRunner(gpt4o()),
         "Claude-3.5": BaselineRunner(claude35()),
     }
     chatls = ChatLS(database)
-    result.models = {name: {} for name in list(runners) + ["ChatLS"]}
-    for name in designs or benchmark_names():
-        bench = get_benchmark(name)
+    model_names = list(runners) + ["ChatLS"]
+    result.models = {name: {} for name in model_names}
+
+    def evaluate(task: tuple[str, str]) -> QoRSnapshot | None:
+        model_name, design = task
+        bench = get_benchmark(design)
         script = baseline_script(bench)
-        report = table4.reports[name]
-        for model_name, runner in runners.items():
-            run = runner.run_pass_at_k(
+        report = table4.reports[design]
+        if model_name == "ChatLS":
+            run = chatls.customize_pass_at_k(
+                bench.verilog, bench.name, script, TIMING_REQUIREMENT,
+                k=k, tool_report=report, top=bench.top,
+                clock_period=bench.clock_period,
+            )
+        else:
+            run = runners[model_name].run_pass_at_k(
                 bench.verilog, bench.name, script, TIMING_REQUIREMENT,
                 k=k, tool_report=report, top=bench.top,
             )
-            result.models[model_name][name] = run.qor
-        run = chatls.customize_pass_at_k(
-            bench.verilog, bench.name, script, TIMING_REQUIREMENT,
-            k=k, tool_report=report, top=bench.top,
-            clock_period=bench.clock_period,
-        )
-        result.models["ChatLS"][name] = run.qor
+        return run.qor
+
+    tasks = [(model, design) for design in names for model in model_names]
+    for (model_name, design), qor in zip(tasks, parallel_map(evaluate, tasks, jobs=jobs)):
+        result.models[model_name][design] = qor
     return result
 
 

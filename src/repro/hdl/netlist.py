@@ -10,12 +10,31 @@ optimizes, and times the result.  A :class:`Netlist` is a flat graph:
 
 Generic gate types are listed in :data:`GENERIC_GATES`.  After technology
 mapping, ``Cell.lib_cell`` names the bound library cell.
+
+Change journal
+--------------
+
+Every mutation is recorded in a bounded journal so observers (notably the
+incremental timing engine in :mod:`repro.synth.timing`) can find out what
+changed since they last looked instead of re-deriving the world:
+
+* structural edits (``add_net``/``add_cell``/``remove_cell``/
+  ``rewire_input``/``rewire_clock``/``replace_with``) log a ``structure``
+  event and invalidate the cached topological order;
+* rebinding a cell's library cell (``cell.lib_cell = ...``) logs a
+  ``resize`` event naming the cell — the hot path of gate sizing.
+
+Observers call :meth:`Netlist.journal_since` with their last-seen
+:attr:`Netlist.version`; a ``None`` return means the journal was trimmed
+past their cursor and they must rebuild from scratch.  Code that mutates
+nets or cells directly (bypassing the methods here) must call
+:meth:`Netlist.touch` afterwards so observers invalidate.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
-from dataclasses import dataclass, field
 
 __all__ = ["GENERIC_GATES", "Net", "Cell", "Netlist", "NetlistError"]
 
@@ -38,38 +57,89 @@ GENERIC_GATES = {
     "DFF": 1,  # (d) -> q, clock in attrs["clock"]
 }
 
+#: Journal entries kept before the oldest half is trimmed.
+_JOURNAL_LIMIT = 200_000
+
 
 class NetlistError(ValueError):
     """Raised for structurally invalid netlist operations."""
 
 
-@dataclass
 class Net:
-    """A single-bit net."""
+    """A single-bit net (slotted: netlists hold hundreds of thousands)."""
 
-    name: str
-    uid: int
-    driver: str | None = None  # cell name, or None for primary inputs
-    sinks: set[str] = field(default_factory=set)  # cell names
-    is_input: bool = False
-    is_output: bool = False
-    is_clock: bool = False
+    __slots__ = ("name", "uid", "driver", "sinks", "is_input", "is_output", "is_clock")
+
+    def __init__(
+        self,
+        name: str,
+        uid: int,
+        driver: str | None = None,
+        sinks: set[str] | None = None,
+        is_input: bool = False,
+        is_output: bool = False,
+        is_clock: bool = False,
+    ) -> None:
+        self.name = name
+        self.uid = uid
+        self.driver = driver  # cell name, or None for primary inputs
+        self.sinks: set[str] = sinks if sinks is not None else set()
+        self.is_input = is_input
+        self.is_output = is_output
+        self.is_clock = is_clock
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Net(name={self.name!r}, driver={self.driver!r}, "
+            f"sinks={sorted(self.sinks)!r})"
+        )
 
 
-@dataclass
 class Cell:
-    """A gate instance."""
+    """A gate instance (slotted; ``lib_cell`` writes journal resize events)."""
 
-    name: str
-    gate: str
-    inputs: list[str] = field(default_factory=list)  # net names
-    output: str = ""
-    lib_cell: str | None = None  # bound library cell after mapping
-    attrs: dict = field(default_factory=dict)
+    __slots__ = ("name", "gate", "inputs", "output", "_lib_cell", "attrs", "_owner")
+
+    def __init__(
+        self,
+        name: str,
+        gate: str,
+        inputs: list[str] | None = None,
+        output: str = "",
+        lib_cell: str | None = None,
+        attrs: dict | None = None,
+        owner: "Netlist | None" = None,
+    ) -> None:
+        self.name = name
+        self.gate = gate
+        self.inputs: list[str] = inputs if inputs is not None else []
+        self.output = output
+        self._lib_cell = lib_cell  # bound library cell after mapping
+        self.attrs: dict = attrs if attrs is not None else {}
+        self._owner = owner
+
+    @property
+    def lib_cell(self) -> str | None:
+        return self._lib_cell
+
+    @lib_cell.setter
+    def lib_cell(self, value: str | None) -> None:
+        if value == self._lib_cell:
+            return
+        self._lib_cell = value
+        if self._owner is not None:
+            self._owner._note_resize(self.name)
 
     @property
     def is_sequential(self) -> bool:
         return self.gate == "DFF"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Cell(name={self.name!r}, gate={self.gate!r}, "
+            f"inputs={self.inputs!r}, output={self.output!r}, "
+            f"lib_cell={self._lib_cell!r})"
+        )
 
 
 class Netlist:
@@ -82,6 +152,41 @@ class Netlist:
         self.primary_inputs: list[str] = []
         self.primary_outputs: list[str] = []
         self._uid = itertools.count()
+        self._journal: list[tuple[str, str | None]] = []
+        self._journal_base = 0
+        self._topo_cache: list[Cell] | None = None
+
+    # -- change journal -------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; equal versions mean nothing changed."""
+        return self._journal_base + len(self._journal)
+
+    def journal_since(self, cursor: int) -> list[tuple[str, str | None]] | None:
+        """Events recorded since ``cursor``; None when trimmed past it."""
+        if cursor < self._journal_base:
+            return None
+        return self._journal[cursor - self._journal_base :]
+
+    def _append_event(self, kind: str, name: str | None) -> None:
+        journal = self._journal
+        journal.append((kind, name))
+        if len(journal) > _JOURNAL_LIMIT:
+            drop = len(journal) // 2
+            self._journal_base += drop
+            del journal[:drop]
+
+    def _note_structure(self) -> None:
+        self._topo_cache = None
+        self._append_event("structure", None)
+
+    def _note_resize(self, cell_name: str) -> None:
+        self._append_event("resize", cell_name)
+
+    def touch(self) -> None:
+        """Record an out-of-band mutation (direct net/cell attribute edits)."""
+        self._note_structure()
 
     # -- construction --------------------------------------------------------
 
@@ -93,12 +198,15 @@ class Netlist:
             raise NetlistError(f"duplicate net {name!r}")
         net = Net(name=name, uid=next(self._uid))
         for key, value in flags.items():
+            if key not in ("driver", "is_input", "is_output", "is_clock"):
+                raise NetlistError(f"unknown net flag {key!r}")
             setattr(net, key, value)
         self.nets[name] = net
         if net.is_input:
             self.primary_inputs.append(name)
         if net.is_output:
             self.primary_outputs.append(name)
+        self._note_structure()
         return net
 
     def get_or_add_net(self, name: str) -> Net:
@@ -131,7 +239,10 @@ class Netlist:
             raise NetlistError(f"net {output!r} already driven by {out_net.driver!r}")
         if out_net.is_input:
             raise NetlistError(f"cannot drive primary input {output!r}")
-        cell = Cell(name=name, gate=gate, inputs=list(inputs), output=output, attrs=attrs)
+        cell = Cell(
+            name=name, gate=gate, inputs=list(inputs), output=output,
+            attrs=attrs, owner=self,
+        )
         out_net.driver = name
         for net_name in inputs:
             self.get_or_add_net(net_name).sinks.add(name)
@@ -140,6 +251,7 @@ class Netlist:
             clk.is_clock = True
             clk.sinks.add(name)
         self.cells[name] = cell
+        self._note_structure()
         return cell
 
     def remove_cell(self, name: str) -> None:
@@ -148,6 +260,8 @@ class Netlist:
         out.driver = None
         for net_name in set(cell.inputs) | ({cell.attrs["clock"]} if "clock" in cell.attrs else set()):
             self.nets[net_name].sinks.discard(name)
+        cell._owner = None
+        self._note_structure()
 
     def rewire_input(self, cell_name: str, old_net: str, new_net: str) -> None:
         """Replace every occurrence of ``old_net`` in a cell's input list."""
@@ -158,6 +272,19 @@ class Netlist:
         if old_net not in cell.inputs and cell.attrs.get("clock") != old_net:
             self.nets[old_net].sinks.discard(cell_name)
         self.get_or_add_net(new_net).sinks.add(cell_name)
+        self._note_structure()
+
+    def rewire_clock(self, cell_name: str, new_clock: str) -> None:
+        """Point a sequential cell's clock pin at a different net."""
+        cell = self.cells[cell_name]
+        old_clock = cell.attrs.get("clock")
+        if old_clock is None:
+            raise NetlistError(f"{cell_name!r} has no clock pin")
+        cell.attrs["clock"] = new_clock
+        if old_clock not in cell.inputs:
+            self.nets[old_clock].sinks.discard(cell_name)
+        self.get_or_add_net(new_clock).sinks.add(cell_name)
+        self._note_structure()
 
     # -- queries --------------------------------------------------------------
 
@@ -184,9 +311,14 @@ class Netlist:
     def topological_cells(self) -> list[Cell]:
         """Combinational cells in topological order (DFF outputs as sources).
 
+        The order is cached and invalidated by structural mutations; do not
+        mutate the returned list.
+
         Raises:
             NetlistError: if the combinational logic contains a cycle.
         """
+        if self._topo_cache is not None:
+            return self._topo_cache
         indegree: dict[str, int] = {}
         dependents: dict[str, list[str]] = {}
         for cell in self.cells.values():
@@ -210,6 +342,7 @@ class Netlist:
                     ready.append(dep)
         if len(order) != len(indegree):
             raise NetlistError("combinational cycle detected")
+        self._topo_cache = order
         return order
 
     def validate(self) -> None:
@@ -252,6 +385,32 @@ class Netlist:
             "gate_counts": gate_counts,
         }
 
+    def fingerprint(self) -> str:
+        """Stable content hash over cells, nets and ports.
+
+        Two netlists with identical structure, bindings and attributes hash
+        equal regardless of construction order; used as the netlist half of
+        synthesis-cache keys.
+        """
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        for name in sorted(self.cells):
+            cell = self.cells[name]
+            attrs = ",".join(f"{k}={cell.attrs[k]!r}" for k in sorted(cell.attrs))
+            h.update(
+                f"C|{name}|{cell.gate}|{cell.lib_cell}|"
+                f"{','.join(cell.inputs)}|{cell.output}|{attrs}\n".encode()
+            )
+        for name in sorted(self.nets):
+            net = self.nets[name]
+            h.update(
+                f"N|{name}|{int(net.is_input)}{int(net.is_output)}"
+                f"{int(net.is_clock)}\n".encode()
+            )
+        h.update(("P|" + ",".join(self.primary_inputs)).encode())
+        h.update(("O|" + ",".join(self.primary_outputs)).encode())
+        return h.hexdigest()
+
     def replace_with(self, other: "Netlist") -> None:
         """Adopt ``other``'s contents in place (used to roll back passes)."""
         self.name = other.name
@@ -260,32 +419,48 @@ class Netlist:
         self.primary_inputs = other.primary_inputs
         self.primary_outputs = other.primary_outputs
         self._uid = other._uid
+        for cell in self.cells.values():
+            cell._owner = self
+        self._note_structure()
 
     def clone(self) -> "Netlist":
-        """Deep-copy the netlist (cells, nets, port lists)."""
+        """Deep-copy the netlist (cells, nets, port lists).
+
+        Hot path: the elaborated-netlist cache hands out a clone per
+        read_verilog, so objects are built by direct slot assignment
+        instead of the (kwarg-processing) constructors.
+        """
         other = Netlist(self.name)
+        nets = other.nets
         for name, net in self.nets.items():
-            clone = Net(
-                name=net.name,
-                uid=net.uid,
-                driver=net.driver,
-                sinks=set(net.sinks),
-                is_input=net.is_input,
-                is_output=net.is_output,
-                is_clock=net.is_clock,
-            )
-            other.nets[name] = clone
+            copy = Net.__new__(Net)
+            copy.name = net.name
+            copy.uid = net.uid
+            copy.driver = net.driver
+            copy.sinks = set(net.sinks)
+            copy.is_input = net.is_input
+            copy.is_output = net.is_output
+            copy.is_clock = net.is_clock
+            nets[name] = copy
+        cells = other.cells
         for name, cell in self.cells.items():
-            other.cells[name] = Cell(
-                name=cell.name,
-                gate=cell.gate,
-                inputs=list(cell.inputs),
-                output=cell.output,
-                lib_cell=cell.lib_cell,
-                attrs=dict(cell.attrs),
-            )
+            copy = Cell.__new__(Cell)
+            copy.name = cell.name
+            copy.gate = cell.gate
+            copy.inputs = list(cell.inputs)
+            copy.output = cell.output
+            copy._lib_cell = cell._lib_cell
+            copy.attrs = dict(cell.attrs)
+            copy._owner = other
+            cells[name] = copy
         other.primary_inputs = list(self.primary_inputs)
         other.primary_outputs = list(self.primary_outputs)
+        # Autogenerated cell/net names ($g<uid>/$n<uid>) consume the same
+        # counter as net uids, so resume past every uid ever handed out or
+        # a clone's next add_cell could collide with an existing name.
         max_uid = max((net.uid for net in self.nets.values()), default=-1)
+        for name in itertools.chain(self.nets, self.cells):
+            if name.startswith(("$n", "$g")) and name[2:].isdigit():
+                max_uid = max(max_uid, int(name[2:]))
         other._uid = itertools.count(max_uid + 1)
         return other

@@ -14,7 +14,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..hdl.elaborator import elaborate
 from ..hdl.netlist import Netlist
 from ..synth.library import TechLibrary, nangate45
 from ..synth.sdc import Constraints
@@ -140,8 +139,10 @@ def analyze_design(
     wireload = wireload or get_wireload("5K_heavy_1k")
     circuit = build_circuit_graph(verilog, design_name, top=top)
     top_name = top or design_name
-    netlist = elaborate(verilog, top_name)
+    from ..synth.cache import elaborate_cached
     from ..synth.techmap import map_to_library
+
+    netlist = elaborate_cached(verilog, top_name)
 
     map_to_library(netlist, library)
     constraints = Constraints(clock_period=clock_period)

@@ -1,0 +1,73 @@
+"""Parallel execution for the evaluation harness.
+
+The Table III/IV harnesses fan out over independent units of work —
+designs, models, pass@k seeds — that share no mutable state (each run
+builds its own shell and netlist; the LLM clients are stateless after
+construction; the synthesis cache and perf registry are lock-protected).
+This module provides the one primitive they need: an order-preserving
+``parallel_map`` over :mod:`concurrent.futures` threads.
+
+Job count resolution, in priority order:
+
+1. explicit ``jobs=`` argument;
+2. the ``REPRO_JOBS`` environment variable;
+3. ``os.cpu_count()`` capped at :data:`DEFAULT_MAX_JOBS`.
+
+``REPRO_JOBS=1`` (or ``jobs=1``) forces fully serial execution.  Results
+are always returned in input order and exceptions propagate exactly as in
+a serial loop, so parallelism never changes what a harness returns —
+only how long it takes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from . import perf
+
+__all__ = ["DEFAULT_MAX_JOBS", "resolve_jobs", "parallel_map"]
+
+#: Upper bound on the default worker count (override with REPRO_JOBS).
+DEFAULT_MAX_JOBS = 8
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective worker count honouring the ``REPRO_JOBS`` override."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+        else:
+            jobs = min(os.cpu_count() or 1, DEFAULT_MAX_JOBS)
+    return max(1, jobs)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    label: str = "repro-eval",
+) -> list[R]:
+    """Apply ``fn`` to every item, possibly concurrently.
+
+    Deterministic: the result list matches the input order regardless of
+    completion order, and the first exception raised by ``fn`` propagates
+    (as in a serial loop).  Runs serially when only one worker is
+    resolved or there is at most one item.
+    """
+    work: Sequence[T] = list(items)
+    workers = min(resolve_jobs(jobs), len(work))
+    if workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    perf.incr("eval.parallel_batches")
+    perf.incr("eval.parallel_tasks", len(work))
+    with ThreadPoolExecutor(max_workers=workers, thread_name_prefix=label) as pool:
+        return list(pool.map(fn, work))

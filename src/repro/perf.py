@@ -1,0 +1,112 @@
+"""Lightweight performance counters and timers.
+
+The perf layers added for scale (incremental STA, the synthesis result
+cache, parallel evaluation) all report what they actually did through this
+registry so speedups are *measured*, not asserted:
+
+* counters — monotonically increasing event counts
+  (``sta.full``, ``sta.incremental``, ``synthcache.hit`` ...);
+* timers — accumulated wall-clock per labelled region with call counts.
+
+The registry is process-global and thread-safe (the parallel evaluation
+executor updates it from worker threads).  Overhead is a dict update per
+event, cheap enough to leave on unconditionally.
+
+Usage::
+
+    from repro import perf
+
+    perf.incr("synthcache.hit")
+    with perf.timer("sta.analyze"):
+        engine.analyze()
+    print(perf.snapshot())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "PerfRegistry",
+    "registry",
+    "incr",
+    "timer",
+    "counter",
+    "elapsed",
+    "snapshot",
+    "reset",
+]
+
+
+class PerfRegistry:
+    """Thread-safe registry of named counters and accumulated timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._time_total: dict[str, float] = {}
+        self._time_calls: dict[str, int] = {}
+
+    # -- counters -----------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- timers -------------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._time_total[name] = self._time_total.get(name, 0.0) + seconds
+            self._time_calls[name] = self._time_calls.get(name, 0) + 1
+
+    def elapsed(self, name: str) -> float:
+        with self._lock:
+            return self._time_total.get(name, 0.0)
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Structured dump: ``{"counters": ..., "timers": ...}``."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "timers": {
+                    name: {
+                        "total_s": round(total, 6),
+                        "calls": self._time_calls.get(name, 0),
+                    }
+                    for name, total in self._time_total.items()
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._time_total.clear()
+            self._time_calls.clear()
+
+
+#: The process-global registry used by the module-level helpers.
+registry = PerfRegistry()
+
+incr = registry.incr
+timer = registry.timer
+counter = registry.counter
+elapsed = registry.elapsed
+snapshot = registry.snapshot
+reset = registry.reset

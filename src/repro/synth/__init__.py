@@ -7,6 +7,13 @@ analysis and QoR reporting, all driven by DC-format Tcl scripts through
 :class:`DCShell`.
 """
 
+from .cache import (
+    SynthesisCache,
+    clear_caches,
+    default_cache,
+    elaborate_cached,
+    synthesize_cached,
+)
 from .dcshell import DCShell, DCShellError, ScriptResult
 from .liberty import LibertyError, parse_liberty, write_liberty
 from .library import LibCell, TechLibrary, nangate45
@@ -29,6 +36,11 @@ from .wireload import WIRELOAD_MODELS, WireLoadModel, get_wireload
 __all__ = [
     "PowerAnalyzer",
     "PowerReport",
+    "SynthesisCache",
+    "clear_caches",
+    "default_cache",
+    "elaborate_cached",
+    "synthesize_cached",
     "DCShell",
     "DCShellError",
     "ScriptResult",

@@ -83,6 +83,7 @@ class DCShell:
         self.pass_log: list[str] = []
         self.last_written: str | None = None
         self.interp = TclInterpreter()
+        self._engine_cache: TimingEngine | None = None
         self._register_commands()
 
     # -- design registry ------------------------------------------------------------
@@ -115,7 +116,22 @@ class DCShell:
     def _engine(self) -> TimingEngine:
         if self.netlist is None:
             raise DCShellError("no design loaded (run read_verilog first)")
-        return TimingEngine(self.netlist, self.library, self.wireload, self.constraints)
+        # One engine per session: it tracks the netlist's change journal
+        # and its own constraint/wireload signature, so repeated report
+        # commands reuse (or incrementally update) the previous analysis.
+        cached = self._engine_cache
+        if (
+            cached is None
+            or cached.netlist is not self.netlist
+            or cached.library is not self.library
+            or cached.wireload is not self.wireload
+            or cached.constraints is not self.constraints
+        ):
+            cached = TimingEngine(
+                self.netlist, self.library, self.wireload, self.constraints
+            )
+            self._engine_cache = cached
+        return cached
 
     # -- command registration ---------------------------------------------------------
 
@@ -184,7 +200,10 @@ class DCShell:
         if name not in self.design_sources:
             raise DCShellError(f"read_verilog: unknown design {name!r}")
         top = self.design_tops[name]
-        self.netlist = elaborate(self.design_sources[name], top)
+        # Late import: cache.py imports DCShell, so the module level would cycle.
+        from .cache import elaborate_cached
+
+        self.netlist = elaborate_cached(self.design_sources[name], top)
         self.design_name = name
         self.compiled = False
         self.pass_log = [f"read_verilog {name}"]

@@ -15,8 +15,10 @@ All passes mutate the netlist in place and report what they changed.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
+from .. import perf
 from ..hdl.netlist import Netlist
 from .library import TechLibrary
 from .sdc import Constraints
@@ -55,9 +57,21 @@ def _engine(
     return TimingEngine(netlist, library, wireload, constraints)
 
 
+def _timed(fn):
+    """Accumulate per-pass wall clock in the perf registry."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with perf.timer(f"pass.{fn.__name__}"):
+            return fn(*args, **kwargs)
+
+    return wrapper
+
+
 # -- gate sizing --------------------------------------------------------------
 
 
+@_timed
 def size_gates(
     netlist: Netlist,
     library: TechLibrary,
@@ -116,6 +130,7 @@ def size_gates(
     )
 
 
+@_timed
 def recover_area(
     netlist: Netlist,
     library: TechLibrary,
@@ -169,6 +184,7 @@ def recover_area(
 # -- fanout buffering -------------------------------------------------------------
 
 
+@_timed
 def buffer_high_fanout(
     netlist: Netlist,
     library: TechLibrary,
@@ -323,6 +339,7 @@ def _retime_forward(netlist: Netlist, gate_name: str) -> bool:
     return True
 
 
+@_timed
 def retime(
     netlist: Netlist,
     library: TechLibrary,
@@ -412,6 +429,7 @@ def _adder_tag_valid(netlist: Netlist, meta: dict) -> bool:
     return True
 
 
+@_timed
 def resynthesize_adders(
     netlist: Netlist,
     library: TechLibrary,
@@ -505,6 +523,7 @@ def resynthesize_adders(
 # -- chain balancing --------------------------------------------------------------------
 
 
+@_timed
 def balance_chains(
     netlist: Netlist,
     library: TechLibrary,

@@ -49,9 +49,7 @@ def _replace_net_everywhere(netlist: Netlist, old: str, new: str) -> None:
         if old in sink.inputs:
             netlist.rewire_input(sink_name, old, new)
         if sink.attrs.get("clock") == old:
-            sink.attrs["clock"] = new
-            old_net.sinks.discard(sink_name)
-            netlist.nets[new].sinks.add(sink_name)
+            netlist.rewire_clock(sink_name, new)
     if old_net.is_output:
         # Keep the port net: drive it with a buffer from ``new`` instead.
         if old_net.driver is None:

@@ -13,12 +13,29 @@ Single-corner setup analysis with ideal clocks:
 Metrics follow the paper's Table III/IV columns: **CPS** is the slack of
 the most critical path (may be positive), **WNS** is the worst *negative*
 slack (0.0 when timing is met), **TNS** sums negative endpoint slacks.
+
+Incremental analysis
+--------------------
+
+The engine memoizes per-net loads, per-cell bound library cells and the
+full arrival/endpoint state, and subscribes to the netlist's change
+journal (:mod:`repro.hdl.netlist`).  When the only changes since the last
+``analyze()`` are cell *resizes* (``lib_cell`` rebinds — the gate-sizing
+hot loop), arrivals are re-propagated only through the downstream cone of
+the dirtied nets; structural edits, constraint changes or a trimmed
+journal fall back to a full rebuild.  The contract is exact parity:
+``analyze()`` returns bit-for-bit the same WNS/CPS/TNS/endpoint slacks as
+:meth:`TimingEngine.full_analyze`, because untouched values are reused
+verbatim and touched values are recomputed with the same expressions in
+the same order.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
+from .. import perf
 from ..hdl.netlist import Cell, Netlist
 from .library import LibCell, TechLibrary
 from .sdc import Constraints
@@ -26,8 +43,10 @@ from .wireload import WireLoadModel
 
 __all__ = ["PathPoint", "TimingPath", "TimingReport", "TimingEngine"]
 
+_CONSTS = ("CONST0", "CONST1")
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class PathPoint:
     """One hop on a timing path."""
 
@@ -74,7 +93,11 @@ class TimingReport:
 
 
 class TimingEngine:
-    """Setup-time STA for one netlist under one set of constraints."""
+    """Setup-time STA for one netlist under one set of constraints.
+
+    The engine may be kept alive across netlist mutations: ``analyze()``
+    consults the netlist journal and updates incrementally when it can.
+    """
 
     def __init__(
         self,
@@ -87,22 +110,44 @@ class TimingEngine:
         self.library = library
         self.wireload = wireload
         self.constraints = constraints
+        # memoized electrical state (journal-invalidated)
+        self._loads: dict[str, float] = {}
+        self._bound: dict[str, LibCell] = {}
+        # memoized analysis state; _arrivals is None until the first full pass
+        self._arrivals: dict[str, float] | None = None
+        self._pred: dict[str, tuple[str, str] | None] = {}
+        self._ep_slack: dict[str, float] = {}
+        self._ep_required: dict[str, float] = {}
+        self._ep_net: dict[str, str] = {}
+        self._topo_index: dict[str, int] = {}
+        self._cursor: int | None = None
+        self._pending_resizes: set[str] = set()
+        self._env_sig: tuple | None = None
 
     # -- electrical model ---------------------------------------------------------
 
-    def _bound_cell(self, cell: Cell) -> LibCell:
+    def _bound_of(self, cell: Cell) -> LibCell:
+        cached = self._bound.get(cell.name)
+        if cached is not None:
+            return cached
         if cell.lib_cell is not None and cell.lib_cell in self.library:
-            return self.library.cell(cell.lib_cell)
-        return self.library.weakest(cell.gate)
+            lib = self.library.cell(cell.lib_cell)
+        else:
+            lib = self.library.weakest(cell.gate)
+        self._bound[cell.name] = lib
+        return lib
 
-    def net_load(self, net_name: str) -> float:
-        """Total load in fF: sink pin caps + wireload estimate."""
+    def _bound_cell(self, cell: Cell) -> LibCell:
+        self._sync()
+        return self._bound_of(cell)
+
+    def _compute_net_load(self, net_name: str) -> float:
         net = self.netlist.nets[net_name]
         pin_cap = 0.0
         fanout = 0
         for sink_name in net.sinks:
             sink = self.netlist.cells[sink_name]
-            lib = self._bound_cell(sink)
+            lib = self._bound_of(sink)
             pins = sink.inputs.count(net_name)
             if sink.attrs.get("clock") == net_name:
                 pins += 1
@@ -113,14 +158,99 @@ class TimingEngine:
             pin_cap += 2.0  # assumed external pin load
         return pin_cap + self.wireload.capacitance(fanout)
 
+    def _load_of(self, net_name: str) -> float:
+        load = self._loads.get(net_name)
+        if load is None:
+            load = self._compute_net_load(net_name)
+            self._loads[net_name] = load
+        return load
+
+    def net_load(self, net_name: str) -> float:
+        """Total load in fF: sink pin caps + wireload estimate."""
+        self._sync()
+        return self._load_of(net_name)
+
+    def _delay_of(self, cell: Cell) -> float:
+        if cell.gate in _CONSTS:
+            return 0.0
+        lib = self._bound_of(cell)
+        if cell.is_sequential:
+            return lib.clk_to_q + lib.drive_res * self._load_of(cell.output) / 1000.0
+        return lib.delay(self._load_of(cell.output))
+
     def cell_delay(self, cell: Cell) -> float:
         """Delay of ``cell`` driving its output net."""
-        if cell.gate in ("CONST0", "CONST1"):
-            return 0.0
-        lib = self._bound_cell(cell)
-        if cell.is_sequential:
-            return lib.clk_to_q + lib.drive_res * self.net_load(cell.output) / 1000.0
-        return lib.delay(self.net_load(cell.output))
+        self._sync()
+        return self._delay_of(cell)
+
+    # -- journal synchronisation -----------------------------------------------------
+
+    def _env_signature(self) -> tuple:
+        c = self.constraints
+        return (
+            id(self.netlist),
+            id(self.library),
+            id(self.wireload),
+            c.clock_period,
+            c.clock_name,
+            c.clock_port,
+            c.input_delay,
+            c.output_delay,
+            c.clock_uncertainty,
+            c.input_drive_res,
+            tuple(sorted(c.per_input_delay.items())),
+            tuple(sorted(c.per_output_delay.items())),
+        )
+
+    def _invalidate(self) -> None:
+        self._loads.clear()
+        self._bound.clear()
+        self._arrivals = None
+        self._pred = {}
+        self._ep_slack = {}
+        self._ep_required = {}
+        self._ep_net = {}
+        self._topo_index = {}
+        self._pending_resizes.clear()
+
+    def _sync(self) -> None:
+        """Fold journal events (and environment changes) into the caches."""
+        sig = self._env_signature()
+        if sig != self._env_sig:
+            self._env_sig = sig
+            self._invalidate()
+            self._cursor = self.netlist.version
+            return
+        if self._cursor is None:
+            self._invalidate()
+            self._cursor = self.netlist.version
+            return
+        if self._cursor == self.netlist.version:
+            return
+        events = self.netlist.journal_since(self._cursor)
+        self._cursor = self.netlist.version
+        if events is None:
+            self._invalidate()
+            return
+        resized: list[str] = []
+        for kind, name in events:
+            if kind == "structure":
+                self._invalidate()
+                return
+            resized.append(name)
+        for name in resized:
+            cell = self.netlist.cells.get(name)
+            if cell is None:  # resize of a since-removed cell implies structure
+                self._invalidate()
+                return
+            self._bound.pop(name, None)
+            # the cell's pin caps changed: loads of the nets it reads are stale
+            for net_in in cell.inputs:
+                self._loads.pop(net_in, None)
+            clock = cell.attrs.get("clock")
+            if clock is not None:
+                self._loads.pop(clock, None)
+            self._pending_resizes.add(name)
 
     # -- analysis --------------------------------------------------------------------
 
@@ -131,7 +261,38 @@ class TimingEngine:
         return net.is_clock
 
     def analyze(self, with_paths: bool = True) -> TimingReport:
-        """Run STA; returns the design-level :class:`TimingReport`."""
+        """Run STA; returns the design-level :class:`TimingReport`.
+
+        Uses the incremental path when only resize events occurred since
+        the previous call; otherwise rebuilds from scratch.
+        """
+        self._sync()
+        if self._arrivals is None:
+            perf.incr("sta.full")
+            self._full_rebuild()
+        elif self._pending_resizes:
+            perf.incr("sta.incremental")
+            self._incremental_update(self._pending_resizes)
+            self._pending_resizes = set()
+        else:
+            perf.incr("sta.cached")
+        return self._build_report(with_paths)
+
+    def full_analyze(self, with_paths: bool = True) -> TimingReport:
+        """Run STA from scratch, ignoring all memoized analysis state.
+
+        The exact-parity reference for :meth:`analyze`; also the explicit
+        fallback when callers mutate state behind the journal's back.
+        """
+        self._sync()
+        self._invalidate()
+        perf.incr("sta.full")
+        self._full_rebuild()
+        return self._build_report(with_paths)
+
+    # -- full propagation --------------------------------------------------------
+
+    def _full_rebuild(self) -> None:
         arrivals: dict[str, float] = {}
         predecessor: dict[str, tuple[str, str] | None] = {}
 
@@ -140,19 +301,21 @@ class TimingEngine:
                 continue
             # The external driver is not free: charge its drive resistance
             # against the input net's load so port fanout costs delay.
-            drive = self.constraints.input_drive_res * self.net_load(name) / 1000.0
+            drive = self.constraints.input_drive_res * self._load_of(name) / 1000.0
             arrivals[name] = self.constraints.arrival_offset(name) + drive
             predecessor[name] = None
         for cell in self.netlist.cells.values():
             if cell.is_sequential:
-                arrivals[cell.output] = self.cell_delay(cell)
+                arrivals[cell.output] = self._delay_of(cell)
                 predecessor[cell.output] = None
-            elif cell.gate in ("CONST0", "CONST1"):
+            elif cell.gate in _CONSTS:
                 arrivals[cell.output] = 0.0
                 predecessor[cell.output] = None
 
-        for cell in self.netlist.topological_cells():
-            if cell.gate in ("CONST0", "CONST1"):
+        topo = self.netlist.topological_cells()
+        self._topo_index = {cell.name: i for i, cell in enumerate(topo)}
+        for cell in topo:
+            if cell.gate in _CONSTS:
                 continue
             worst_in = None
             worst_arrival = 0.0
@@ -160,7 +323,7 @@ class TimingEngine:
                 arr = arrivals.get(net_in, 0.0)
                 if worst_in is None or arr > worst_arrival:
                     worst_in, worst_arrival = net_in, arr
-            delay = self.cell_delay(cell)
+            delay = self._delay_of(cell)
             arrivals[cell.output] = worst_arrival + delay
             predecessor[cell.output] = (cell.name, worst_in) if worst_in else None
 
@@ -177,7 +340,7 @@ class TimingEngine:
         for cell in self.netlist.cells.values():
             if not cell.is_sequential:
                 continue
-            lib = self._bound_cell(cell)
+            lib = self._bound_of(cell)
             data_net = cell.inputs[0]
             required = period - lib.setup
             arrival = arrivals.get(data_net, 0.0)
@@ -186,12 +349,138 @@ class TimingEngine:
             endpoint_required[key] = required
             endpoint_net[key] = data_net
 
+        self._arrivals = arrivals
+        self._pred = predecessor
+        self._ep_slack = endpoint_slacks
+        self._ep_required = endpoint_required
+        self._ep_net = endpoint_net
+        self._pending_resizes = set()
+
+    # -- incremental propagation ---------------------------------------------------
+
+    def _incremental_update(self, resized: set[str]) -> None:
+        """Re-propagate arrivals through the downstream cone of resizes.
+
+        Only valid when the netlist structure (and thus the cached
+        topological order) is unchanged since the last rebuild.
+        """
+        arrivals = self._arrivals
+        assert arrivals is not None
+        cells = self.netlist.cells
+        nets = self.netlist.nets
+        topo_index = self._topo_index
+        period = self.constraints.effective_period
+
+        heap: list[tuple[int, str]] = []
+        queued: set[str] = set()
+
+        def queue_cell(name: str) -> None:
+            if name not in queued:
+                queued.add(name)
+                heapq.heappush(heap, (topo_index[name], name))
+
+        def refresh_endpoint(key: str) -> None:
+            self._ep_slack[key] = self._ep_required[key] - arrivals.get(
+                self._ep_net[key], 0.0
+            )
+
+        def on_net_changed(net_name: str) -> None:
+            net = nets[net_name]
+            for sink_name in net.sinks:
+                sink = cells[sink_name]
+                if sink.is_sequential:
+                    if sink.inputs and sink.inputs[0] == net_name:
+                        refresh_endpoint(f"reg:{sink_name}")
+                    continue  # clock pins do not propagate data arrivals
+                if sink.gate in _CONSTS:
+                    continue
+                queue_cell(sink_name)
+            if net.is_output:
+                refresh_endpoint(f"out:{net_name}")
+
+        def refresh_source(net_name: str) -> None:
+            """Recompute the arrival at a net produced by a non-combinational
+            source (port / register / constant) after its load changed."""
+            driver = nets[net_name].driver
+            if driver is None:
+                if net_name in arrivals and not self._is_clock_net(net_name):
+                    drive = (
+                        self.constraints.input_drive_res
+                        * self._load_of(net_name)
+                        / 1000.0
+                    )
+                    new = self.constraints.arrival_offset(net_name) + drive
+                    if new != arrivals[net_name]:
+                        arrivals[net_name] = new
+                        on_net_changed(net_name)
+                return
+            cell = cells[driver]
+            if cell.gate in _CONSTS:
+                return  # constants launch at 0.0 regardless of load
+            if cell.is_sequential:
+                new = self._delay_of(cell)
+                if new != arrivals[net_name]:
+                    arrivals[net_name] = new
+                    on_net_changed(net_name)
+                return
+            queue_cell(driver)
+
+        # Seed: nets whose load changed (the resized cells' input pins) need
+        # their sources re-timed; the resized cells themselves need their own
+        # delay re-applied; resized registers also shift their setup check.
+        affected_nets: set[str] = set()
+        for name in resized:
+            cell = cells[name]
+            affected_nets.update(cell.inputs)
+            clock = cell.attrs.get("clock")
+            if clock is not None:
+                affected_nets.add(clock)
+        for net_name in affected_nets:
+            refresh_source(net_name)
+        for name in resized:
+            cell = cells[name]
+            if cell.gate in _CONSTS:
+                continue
+            if cell.is_sequential:
+                key = f"reg:{name}"
+                self._ep_required[key] = period - self._bound_of(cell).setup
+                refresh_endpoint(key)
+                new = self._delay_of(cell)
+                if new != arrivals[cell.output]:
+                    arrivals[cell.output] = new
+                    on_net_changed(cell.output)
+            else:
+                queue_cell(name)
+
+        recomputed = 0
+        while heap:
+            _, name = heapq.heappop(heap)
+            cell = cells[name]
+            worst_in = None
+            worst_arrival = 0.0
+            for net_in in cell.inputs:
+                arr = arrivals.get(net_in, 0.0)
+                if worst_in is None or arr > worst_arrival:
+                    worst_in, worst_arrival = net_in, arr
+            new_arrival = worst_arrival + self._delay_of(cell)
+            new_pred = (name, worst_in) if worst_in else None
+            out = cell.output
+            recomputed += 1
+            if new_arrival != arrivals.get(out) or new_pred != self._pred.get(out):
+                arrivals[out] = new_arrival
+                self._pred[out] = new_pred
+                on_net_changed(out)
+        perf.incr("sta.cells_recomputed", recomputed)
+
+    # -- report assembly -----------------------------------------------------------
+
+    def _build_report(self, with_paths: bool) -> TimingReport:
+        endpoint_slacks = self._ep_slack
         if not endpoint_slacks:
             return TimingReport(
                 wns=0.0, cps=0.0, tns=0.0, num_endpoints=0,
                 num_violations=0, critical_path=None,
             )
-
         worst_key = min(endpoint_slacks, key=endpoint_slacks.get)
         cps = endpoint_slacks[worst_key]
         wns = min(cps, 0.0)
@@ -201,11 +490,11 @@ class TimingEngine:
         critical = None
         if with_paths:
             critical = self._trace_path(
-                endpoint_net[worst_key],
+                self._ep_net[worst_key],
                 worst_key,
-                arrivals,
-                predecessor,
-                endpoint_required[worst_key],
+                self._arrivals,
+                self._pred,
+                self._ep_required[worst_key],
             )
         return TimingReport(
             wns=round(wns, 4),
@@ -214,7 +503,7 @@ class TimingEngine:
             num_endpoints=len(endpoint_slacks),
             num_violations=violations,
             critical_path=critical,
-            endpoint_slacks=endpoint_slacks,
+            endpoint_slacks=dict(endpoint_slacks),
         )
 
     def _trace_path(
@@ -249,23 +538,26 @@ class TimingEngine:
     # -- aggregate metrics used by reports/power -----------------------------------------
 
     def total_area(self) -> float:
+        self._sync()
         return sum(
-            self._bound_cell(c).area
+            self._bound_of(c).area
             for c in self.netlist.cells.values()
-            if c.gate not in ("CONST0", "CONST1")
+            if c.gate not in _CONSTS
         )
 
     def total_leakage(self) -> float:
         """Leakage power in nW."""
+        self._sync()
         return sum(
-            self._bound_cell(c).leakage
+            self._bound_of(c).leakage
             for c in self.netlist.cells.values()
-            if c.gate not in ("CONST0", "CONST1")
+            if c.gate not in _CONSTS
         )
 
     def dynamic_power(self, activity: float = 0.1, voltage: float = 1.1) -> float:
         """Switching power estimate in uW: alpha * C * V^2 * f."""
-        total_cap_ff = sum(self.net_load(n) for n in self.netlist.nets)
+        self._sync()
+        total_cap_ff = sum(self._load_of(n) for n in self.netlist.nets)
         freq_ghz = 1.0 / max(self.constraints.clock_period, 1e-9)
         # fF * V^2 * GHz = uW
         return activity * total_cap_ff * voltage**2 * freq_ghz

@@ -1,0 +1,216 @@
+"""Property-based parity tests: incremental STA == full STA.
+
+The incremental timing kernel promises *exact* agreement with a from-
+scratch analysis — identical WNS/CPS/TNS and bit-for-bit identical
+endpoint slack dictionaries — after any journaled netlist edit.  These
+tests drive randomized edit sequences (gate resizes, which take the
+incremental path, and buffer insertions, which force the structural
+fallback) over real OpenCores benchmarks and compare a long-lived
+engine against a fresh one after every step.
+"""
+
+import functools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs import get_benchmark
+from repro.hdl import elaborate
+from repro.synth import Constraints, TimingEngine, get_wireload, nangate45
+from repro.synth.techmap import map_to_library
+
+LIBRARY = nangate45()
+WIRELOAD = get_wireload("5K_heavy_1k")
+
+# Small benchmarks keep each hypothesis example fast; the full 7-design
+# sweep lives in benchmarks/perf/.
+DESIGNS = ("dynamic_node", "riscv32i")
+
+
+@functools.lru_cache(maxsize=None)
+def _mapped(name):
+    bench = get_benchmark(name)
+    netlist = elaborate(bench.verilog, bench.top)
+    map_to_library(netlist, LIBRARY)
+    return netlist, bench.clock_period
+
+
+def _fresh(name):
+    netlist, period = _mapped(name)
+    return netlist.clone(), Constraints(clock_period=period)
+
+
+def _assert_parity(engine, netlist, constraints):
+    """The long-lived engine must match a from-scratch engine exactly."""
+    incremental = engine.analyze(with_paths=False)
+    reference = TimingEngine(netlist, LIBRARY, WIRELOAD, constraints).analyze(
+        with_paths=False
+    )
+    assert incremental.endpoint_slacks == reference.endpoint_slacks
+    assert (incremental.wns, incremental.cps, incremental.tns) == (
+        reference.wns,
+        reference.cps,
+        reference.tns,
+    )
+
+
+def _resize(netlist, cell_seed, variant_seed):
+    """Apply one random legal resize; return False if none is possible."""
+    sized = [c for c in netlist.cells.values() if c.lib_cell is not None]
+    if not sized:
+        return False
+    cell = sized[cell_seed % len(sized)]
+    variants = LIBRARY.variants(LIBRARY.cell(cell.lib_cell).function)
+    others = [v for v in variants if v.name != cell.lib_cell]
+    if not others:
+        return False
+    cell.lib_cell = others[variant_seed % len(others)].name
+    return True
+
+
+def _insert_buffer(netlist, net_seed):
+    """Split one sink off a multi-sink net behind a BUF (structural edit)."""
+    candidates = [
+        n
+        for n in netlist.nets.values()
+        if n.sinks and n.driver is not None and not n.is_clock
+    ]
+    if not candidates:
+        return False
+    net = candidates[net_seed % len(candidates)]
+    sink = sorted(net.sinks)[net_seed % len(net.sinks)]
+    if netlist.cells[sink].attrs.get("clock") == net.name:
+        return False
+    buffered = netlist.add_net()
+    buf = netlist.add_cell("BUF", [net.name], buffered.name)
+    buf.lib_cell = LIBRARY.weakest("BUF").name
+    netlist.rewire_input(sink, net.name, buffered.name)
+    return True
+
+
+@st.composite
+def edit_sequences(draw):
+    """A design plus 1-12 edits: mostly resizes, some structural."""
+    design = draw(st.sampled_from(DESIGNS))
+    count = draw(st.integers(min_value=1, max_value=12))
+    edits = [
+        draw(
+            st.one_of(
+                st.tuples(
+                    st.just("resize"),
+                    st.integers(min_value=0, max_value=10_000),
+                    st.integers(min_value=0, max_value=10),
+                ),
+                st.tuples(
+                    st.just("buffer"),
+                    st.integers(min_value=0, max_value=10_000),
+                    st.just(0),
+                ),
+            )
+        )
+        for _ in range(count)
+    ]
+    return design, edits
+
+
+class TestIncrementalParity:
+    @settings(max_examples=25)
+    @given(edit_sequences())
+    def test_random_edit_sequence_matches_full_sta(self, case):
+        design, edits = case
+        netlist, constraints = _fresh(design)
+        engine = TimingEngine(netlist, LIBRARY, WIRELOAD, constraints)
+        _assert_parity(engine, netlist, constraints)
+        for kind, a, b in edits:
+            if kind == "resize":
+                _resize(netlist, a, b)
+            else:
+                _insert_buffer(netlist, a)
+            _assert_parity(engine, netlist, constraints)
+
+    @settings(max_examples=10)
+    @given(
+        st.sampled_from(DESIGNS),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),
+                st.integers(min_value=0, max_value=10),
+            ),
+            min_size=2,
+            max_size=8,
+        ),
+    )
+    def test_batched_resizes_match_full_sta(self, design, resizes):
+        """Several resizes between analyze() calls collapse into one
+        incremental update; parity must still hold."""
+        netlist, constraints = _fresh(design)
+        engine = TimingEngine(netlist, LIBRARY, WIRELOAD, constraints)
+        engine.analyze(with_paths=False)
+        for cell_seed, variant_seed in resizes:
+            _resize(netlist, cell_seed, variant_seed)
+        _assert_parity(engine, netlist, constraints)
+
+
+class TestIncrementalMechanics:
+    def test_resize_takes_incremental_path(self):
+        from repro import perf
+
+        netlist, constraints = _fresh("dynamic_node")
+        engine = TimingEngine(netlist, LIBRARY, WIRELOAD, constraints)
+        engine.analyze(with_paths=False)
+        assert _resize(netlist, 7, 1)
+        perf.reset()
+        engine.analyze(with_paths=False)
+        assert perf.counter("sta.incremental") == 1
+        assert perf.counter("sta.full") == 0
+
+    def test_structural_edit_forces_full_rebuild(self):
+        from repro import perf
+
+        netlist, constraints = _fresh("dynamic_node")
+        engine = TimingEngine(netlist, LIBRARY, WIRELOAD, constraints)
+        engine.analyze(with_paths=False)
+        assert _insert_buffer(netlist, 3)
+        perf.reset()
+        engine.analyze(with_paths=False)
+        assert perf.counter("sta.full") == 1
+
+    def test_unchanged_netlist_hits_cache(self):
+        from repro import perf
+
+        netlist, constraints = _fresh("dynamic_node")
+        engine = TimingEngine(netlist, LIBRARY, WIRELOAD, constraints)
+        engine.analyze(with_paths=False)
+        perf.reset()
+        engine.analyze(with_paths=False)
+        assert perf.counter("sta.cached") == 1
+
+    def test_constraint_change_invalidates(self):
+        netlist, constraints = _fresh("dynamic_node")
+        engine = TimingEngine(netlist, LIBRARY, WIRELOAD, constraints)
+        before = engine.analyze(with_paths=False)
+        constraints.clock_period = constraints.clock_period * 2
+        after = engine.analyze(with_paths=False)
+        assert after.wns > before.wns
+        _assert_parity(engine, netlist, constraints)
+
+    def test_full_analyze_matches_analyze(self):
+        netlist, constraints = _fresh("riscv32i")
+        engine = TimingEngine(netlist, LIBRARY, WIRELOAD, constraints)
+        incr = engine.analyze(with_paths=False)
+        full = engine.full_analyze(with_paths=False)
+        assert incr.endpoint_slacks == full.endpoint_slacks
+        assert (incr.wns, incr.cps, incr.tns) == (full.wns, full.cps, full.tns)
+
+    def test_critical_path_matches_fresh_engine(self):
+        netlist, constraints = _fresh("riscv32i")
+        engine = TimingEngine(netlist, LIBRARY, WIRELOAD, constraints)
+        engine.analyze()
+        for seed in range(6):
+            _resize(netlist, seed * 97, seed)
+        incr = engine.analyze()
+        ref = TimingEngine(netlist, LIBRARY, WIRELOAD, constraints).analyze()
+        assert (incr.critical_path is None) == (ref.critical_path is None)
+        if incr.critical_path is not None:
+            assert incr.critical_path.points == ref.critical_path.points
+            assert incr.critical_path.slack == ref.critical_path.slack

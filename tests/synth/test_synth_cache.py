@@ -1,0 +1,153 @@
+"""Tests for the content-addressed synthesis result cache."""
+
+import threading
+
+import pytest
+
+from repro.designs import get_benchmark
+from repro.eval.harness import baseline_script
+from repro.synth import ScriptResult, SynthesisCache, default_cache, synthesize_cached
+from repro.synth.cache import cache_enabled, synthesis_key
+
+
+@pytest.fixture
+def cache():
+    return SynthesisCache(max_entries=4)
+
+
+def _result(tag="ok"):
+    return ScriptResult(success=True, error=None, transcript=[("cmd", tag)])
+
+
+class TestSynthesisKey:
+    def test_deterministic(self):
+        a = synthesis_key("lib", "aes", "module m;", "m", "compile")
+        b = synthesis_key("lib", "aes", "module m;", "m", "compile")
+        assert a == b
+
+    def test_every_component_matters(self):
+        base = ("lib", "aes", "module m;", "m", "compile")
+        reference = synthesis_key(*base)
+        for i in range(len(base)):
+            changed = list(base)
+            changed[i] = changed[i] + "X"
+            assert synthesis_key(*changed) != reference
+
+    def test_none_top_is_stable(self):
+        assert synthesis_key("l", "d", "v", None, "s") == synthesis_key(
+            "l", "d", "v", None, "s"
+        )
+
+
+class TestSynthesisCache:
+    def test_miss_then_hit(self, cache):
+        key = synthesis_key("l", "d", "v", None, "s")
+        assert cache.get(key) is None
+        cache.put(key, _result())
+        got = cache.get(key)
+        assert got is not None and got.success
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_values_are_isolated_copies(self, cache):
+        cache.put("k", _result())
+        first = cache.get("k")
+        first.transcript.append(("evil", "mutation"))
+        second = cache.get("k")
+        assert second.transcript == [("cmd", "ok")]
+
+    def test_lru_eviction(self, cache):
+        for i in range(4):
+            cache.put(f"k{i}", _result(str(i)))
+        cache.get("k0")  # refresh k0 so k1 is now the oldest
+        cache.put("k4", _result("4"))
+        assert cache.get("k1") is None
+        assert cache.get("k0") is not None
+        assert len(cache) == 4
+
+    def test_clear(self, cache):
+        cache.put("k", _result())
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
+    def test_thread_safety(self, cache):
+        errors = []
+
+        def worker(n):
+            try:
+                for i in range(200):
+                    cache.put(f"k{(n + i) % 6}", _result())
+                    cache.get(f"k{i % 6}")
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 4
+
+
+class TestCacheGate:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SYNTH_CACHE", raising=False)
+        assert cache_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "no", "off", "OFF"])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SYNTH_CACHE", value)
+        assert not cache_enabled()
+
+    def test_other_values_enable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SYNTH_CACHE", "1")
+        assert cache_enabled()
+
+
+class TestSynthesizeCached:
+    def test_second_run_is_a_hit_with_equal_qor(self):
+        bench = get_benchmark("dynamic_node")
+        script = baseline_script(bench)
+        cache = SynthesisCache()
+        first = synthesize_cached(
+            None, bench.name, bench.verilog, script, top=bench.top, cache=cache
+        )
+        second = synthesize_cached(
+            None, bench.name, bench.verilog, script, top=bench.top, cache=cache
+        )
+        assert first.success and second.success
+        assert cache.stats()["hits"] == 1
+        assert second.qor == first.qor
+
+    def test_different_script_misses(self):
+        bench = get_benchmark("dynamic_node")
+        script = baseline_script(bench)
+        cache = SynthesisCache()
+        synthesize_cached(
+            None, bench.name, bench.verilog, script, top=bench.top, cache=cache
+        )
+        synthesize_cached(
+            None,
+            bench.name,
+            bench.verilog,
+            script + "\nreport_qor",
+            top=bench.top,
+            cache=cache,
+        )
+        assert cache.stats()["hits"] == 0
+        assert len(cache) == 2
+
+    def test_disabled_cache_reruns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SYNTH_CACHE", "0")
+        bench = get_benchmark("dynamic_node")
+        script = baseline_script(bench)
+        cache = SynthesisCache()
+        synthesize_cached(
+            None, bench.name, bench.verilog, script, top=bench.top, cache=cache
+        )
+        assert len(cache) == 0
+
+    def test_default_cache_is_shared(self):
+        assert default_cache() is default_cache()

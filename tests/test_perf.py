@@ -1,0 +1,68 @@
+"""Tests for the perf counter/timer registry."""
+
+import threading
+
+from repro import perf
+from repro.perf import PerfRegistry
+
+
+class TestCounters:
+    def test_incr_and_read(self):
+        reg = PerfRegistry()
+        reg.incr("a")
+        reg.incr("a", 4)
+        assert reg.counter("a") == 5
+        assert reg.counter("missing") == 0
+
+    def test_timer_accumulates(self):
+        reg = PerfRegistry()
+        with reg.timer("t"):
+            pass
+        with reg.timer("t"):
+            pass
+        snap = reg.snapshot()
+        assert snap["timers"]["t"]["calls"] == 2
+        assert snap["timers"]["t"]["total_s"] >= 0.0
+        assert round(reg.elapsed("t"), 6) == snap["timers"]["t"]["total_s"]
+
+    def test_reset(self):
+        reg = PerfRegistry()
+        reg.incr("a")
+        with reg.timer("t"):
+            pass
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "timers": {}}
+
+    def test_snapshot_is_a_copy(self):
+        reg = PerfRegistry()
+        reg.incr("a")
+        snap = reg.snapshot()
+        snap["counters"]["a"] = 99
+        assert reg.counter("a") == 1
+
+    def test_thread_safety(self):
+        reg = PerfRegistry()
+
+        def worker():
+            for _ in range(1000):
+                reg.incr("shared")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("shared") == 8000
+
+
+class TestModuleRegistry:
+    def test_module_aliases_hit_global_registry(self):
+        perf.reset()
+        perf.incr("x", 2)
+        with perf.timer("y"):
+            pass
+        snap = perf.snapshot()
+        assert snap["counters"]["x"] == 2
+        assert snap["timers"]["y"]["calls"] == 1
+        perf.reset()
+        assert perf.counter("x") == 0
