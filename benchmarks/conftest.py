@@ -38,3 +38,19 @@ def trained_database():
 def table4():
     """Table IV baseline QoR for all seven designs."""
     return run_table4_baseline()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """With REPRO_TRACE set, every harness run ends with its run report."""
+    from repro import obs
+
+    tracer = obs.get_tracer()
+    if tracer.enabled and tracer.format == "jsonl":
+        tracer.flush()
+        from repro.obs.report import load_events, render_report
+
+        reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+        write = reporter.write_line if reporter else print
+        write("")
+        for line in render_report(load_events(tracer.path)).splitlines():
+            write(line)

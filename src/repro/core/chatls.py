@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..designs.database import ExpertDatabase
 from ..parallel import parallel_map
 from ..llm.base import LLMClient
@@ -77,24 +78,28 @@ class ChatLS:
         clock_period: float,
     ) -> tuple[Requirement, DesignAnalysis, SynthRAG]:
         """Analysis + retrieval context, shared by every seed of a design."""
-        if isinstance(requirement, str):
-            requirement = parse_requirement(requirement)
-        analysis = analyze_design(
-            verilog,
-            design_name,
-            top=top,
-            clock_period=clock_period,
-            library=self.library,
-        )
-        rag = SynthRAG.build(
-            self.database,
-            circuit=analysis.circuit,
-            library=self.library,
-            llm=self.llm,
-        )
-        if self.use_rag:
-            rag.embedding_retriever.characteristic = requirement.rerank_characteristic
-        return requirement, analysis, rag
+        with obs.span(
+            "chatls.prepare", design=design_name, clock_period=clock_period
+        ) as sp:
+            if isinstance(requirement, str):
+                requirement = parse_requirement(requirement)
+            analysis = analyze_design(
+                verilog,
+                design_name,
+                top=top,
+                clock_period=clock_period,
+                library=self.library,
+            )
+            rag = SynthRAG.build(
+                self.database,
+                circuit=analysis.circuit,
+                library=self.library,
+                llm=self.llm,
+            )
+            if self.use_rag:
+                rag.embedding_retriever.characteristic = requirement.rerank_characteristic
+            sp.set_attribute("pathologies", len(analysis.pathologies))
+            return requirement, analysis, rag
 
     def _draft_and_refine(
         self,
@@ -110,19 +115,23 @@ class ChatLS:
         Drafting and refinement only *read* the analysis and retrievers,
         so pass@k seeds can share one context across worker threads.
         """
-        generator = Generator(self.llm, rag)
-        draft = generator.draft(
-            requirement,
-            baseline_script,
-            tool_report,
-            analysis if self.use_rag else _blank_analysis(analysis),
-            seed=seed,
-        )
-        if self.use_synthexpert:
-            refined = SynthExpert(self.llm, rag).refine(draft.script, analysis)
-            script, trace = refined.script, refined.trace
-        else:
-            script, trace = draft.script, CoTTrace()
+        with obs.span("chatls.sample", seed=seed) as sp:
+            generator = Generator(self.llm, rag)
+            draft = generator.draft(
+                requirement,
+                baseline_script,
+                tool_report,
+                analysis if self.use_rag else _blank_analysis(analysis),
+                seed=seed,
+            )
+            if self.use_synthexpert:
+                refined = SynthExpert(self.llm, rag).refine(draft.script, analysis)
+                script, trace = refined.script, refined.trace
+                sp.set_attributes(
+                    steps=len(trace.steps), repaired=trace.num_repaired
+                )
+            else:
+                script, trace = draft.script, CoTTrace()
         return CustomizationResult(
             script=script,
             analysis=analysis,
@@ -143,12 +152,15 @@ class ChatLS:
         seed: int = 0,
     ) -> CustomizationResult:
         """Produce one customized synthesis script (no evaluation)."""
-        requirement, analysis, rag = self._prepare(
-            verilog, design_name, requirement, top, clock_period
-        )
-        return self._draft_and_refine(
-            requirement, analysis, rag, baseline_script, tool_report, seed
-        )
+        with obs.span(
+            "chatls.customize", design=design_name, mode="single", seed=seed
+        ):
+            requirement, analysis, rag = self._prepare(
+                verilog, design_name, requirement, top, clock_period
+            )
+            return self._draft_and_refine(
+                requirement, analysis, rag, baseline_script, tool_report, seed
+            )
 
     # -- evaluated customization -----------------------------------------------------
 
@@ -206,47 +218,56 @@ class ChatLS:
         history: list[CustomizationResult] = []
         script = baseline_script
         report = ""
-        for round_index in range(rounds):
-            if round_index == 0:
-                result = self.customize_pass_at_k(
-                    verilog,
-                    design_name,
-                    script,
-                    requirement,
-                    k=k,
-                    tool_report=report,
-                    top=top,
-                    clock_period=clock_period,
-                )
-            else:
-                # Resynthesis round: extend the previous script with the
-                # incremental refinement commands for the residual
-                # violations, then re-run the tool.
-                extended = _extend_script(script)
-                run = synthesize_cached(
-                    self.library, design_name, verilog, extended, top=top
-                )
-                result = CustomizationResult(
-                    script=extended,
-                    analysis=history[0].analysis,
-                    trace=CoTTrace(),
-                    prompt="",
-                    qor=run.qor,
-                    executable=run.success,
-                    error=run.error,
-                )
-            history.append(result)
-            if result.qor is None:
-                break
-            # Keep the round only if it did not regress; otherwise carry
-            # the previous best script forward.
-            if len(history) >= 2 and history[-2].qor is not None:
-                if not _better_timing(result.qor, history[-2].qor):
-                    result = history[-2]
-            script = result.script
-            report = render_qor_report(result.qor)
-            if result.qor.wns >= 0:
-                break
+        with obs.span(
+            "chatls.customize_iteratively", design=design_name, rounds=rounds, k=k
+        ) as root:
+            for round_index in range(rounds):
+                with obs.span("chatls.round", index=round_index) as sp:
+                    if round_index == 0:
+                        result = self.customize_pass_at_k(
+                            verilog,
+                            design_name,
+                            script,
+                            requirement,
+                            k=k,
+                            tool_report=report,
+                            top=top,
+                            clock_period=clock_period,
+                        )
+                    else:
+                        # Resynthesis round: extend the previous script with the
+                        # incremental refinement commands for the residual
+                        # violations, then re-run the tool.
+                        extended = _extend_script(script)
+                        run = synthesize_cached(
+                            self.library, design_name, verilog, extended, top=top
+                        )
+                        result = CustomizationResult(
+                            script=extended,
+                            analysis=history[0].analysis,
+                            trace=CoTTrace(),
+                            prompt="",
+                            qor=run.qor,
+                            executable=run.success,
+                            error=run.error,
+                        )
+                    if result.qor is not None:
+                        sp.set_attributes(
+                            wns=round(result.qor.wns, 4), area=round(result.qor.area, 2)
+                        )
+                history.append(result)
+                if result.qor is None:
+                    break
+                # Keep the round only if it did not regress; otherwise carry
+                # the previous best script forward.
+                if len(history) >= 2 and history[-2].qor is not None:
+                    if not _better_timing(result.qor, history[-2].qor):
+                        result = history[-2]
+                script = result.script
+                report = render_qor_report(result.qor)
+                if result.qor.wns >= 0:
+                    break
+            root.set_attribute("executed_rounds", len(history))
         return history
 
     def customize_pass_at_k(
@@ -268,35 +289,46 @@ class ChatLS:
         through the parallel executor.  The winner is picked in seed
         order, matching the serial sweep exactly.
         """
-        prepared, analysis, rag = self._prepare(
-            verilog, design_name, requirement, top, clock_period
-        )
-
-        def sample(seed: int) -> CustomizationResult:
-            result = self._draft_and_refine(
-                prepared, analysis, rag, baseline_script, tool_report, seed
+        with obs.span(
+            "chatls.customize", design=design_name, mode="pass_at_k", k=k
+        ) as root:
+            prepared, analysis, rag = self._prepare(
+                verilog, design_name, requirement, top, clock_period
             )
-            run = synthesize_cached(
-                self.library, design_name, verilog, result.script, top=top
-            )
-            result.executable = run.success
-            result.error = run.error
-            result.qor = run.qor
-            return result
 
-        results = parallel_map(sample, range(k), jobs=jobs, label="pass-at-k")
-        best: CustomizationResult | None = None
-        for result in results:
-            if not result.executable or result.qor is None:
-                if best is None:
+            def sample(seed: int) -> CustomizationResult:
+                result = self._draft_and_refine(
+                    prepared, analysis, rag, baseline_script, tool_report, seed
+                )
+                run = synthesize_cached(
+                    self.library, design_name, verilog, result.script, top=top
+                )
+                result.executable = run.success
+                result.error = run.error
+                result.qor = run.qor
+                return result
+
+            results = parallel_map(sample, range(k), jobs=jobs, label="pass-at-k")
+            best: CustomizationResult | None = None
+            for result in results:
+                if not result.executable or result.qor is None:
+                    if best is None:
+                        best = result
+                    continue
+                if best is None or best.qor is None:
                     best = result
-                continue
-            if best is None or best.qor is None:
-                best = result
-            elif _better_timing(result.qor, best.qor):
-                best = result
-        assert best is not None
-        return best
+                elif _better_timing(result.qor, best.qor):
+                    best = result
+            assert best is not None
+            root.set_attributes(winner_seed=best.seed, executable=best.executable)
+            obs.info(
+                "chatls.pass_at_k.done",
+                design=design_name,
+                k=k,
+                winner_seed=best.seed,
+                executable=best.executable,
+            )
+            return best
 
 
 def _extend_script(script: str) -> str:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..llm.base import LLMClient
 from ..llm.prompts import build_prompt, extract_script
 from ..mentor.analyzer import DesignAnalysis
@@ -46,29 +47,37 @@ class Generator:
         k_strategies: int = 2,
     ) -> DraftResult:
         """Draft a customized script for one design."""
-        design_embedding = self.rag.encoder.embed_design(analysis.circuit)
-        hits = self.rag.retrieve_strategies(design_embedding, k=k_strategies)
-        pathology_strats = strategies_for_pathologies(analysis.pathologies, limit=2)
-        strategy_section = render_strategy_section(
-            hits=hits, pathology_strategies=pathology_strats
-        )
-        manual_hits = self.rag.manual(requirement.text, k=2)
-        manual_section = "\n\n".join(h.text for h in manual_hits)
-        sections = {
-            "USER REQUIREMENT": requirement.text,
-            "BASELINE SCRIPT": baseline_script,
-            "TOOL REPORT": tool_report,
-            "CIRCUIT ANALYSIS": analysis.summary(),
-            "RETRIEVED STRATEGIES": strategy_section,
-            "MANUAL EXCERPTS": manual_section,
-        }
-        prompt = build_prompt(sections)
-        completion = self.llm.complete(prompt, seed=seed)
-        script = extract_script(completion.text) or baseline_script
-        return DraftResult(
-            script=script,
-            prompt=prompt,
-            completion_text=completion.text,
-            strategies_used=[s.name for s in pathology_strats]
-            + [h.strategy for h in hits],
-        )
+        with obs.span("chatls.draft", seed=seed) as sp:
+            design_embedding = self.rag.encoder.embed_design(analysis.circuit)
+            hits = self.rag.retrieve_strategies(design_embedding, k=k_strategies)
+            pathology_strats = strategies_for_pathologies(analysis.pathologies, limit=2)
+            strategy_section = render_strategy_section(
+                hits=hits, pathology_strategies=pathology_strats
+            )
+            manual_hits = self.rag.manual(requirement.text, k=2)
+            manual_section = "\n\n".join(h.text for h in manual_hits)
+            sections = {
+                "USER REQUIREMENT": requirement.text,
+                "BASELINE SCRIPT": baseline_script,
+                "TOOL REPORT": tool_report,
+                "CIRCUIT ANALYSIS": analysis.summary(),
+                "RETRIEVED STRATEGIES": strategy_section,
+                "MANUAL EXCERPTS": manual_section,
+            }
+            prompt = build_prompt(sections)
+            completion = self.llm.complete(prompt, seed=seed)
+            script = extract_script(completion.text) or baseline_script
+            strategies_used = [s.name for s in pathology_strats] + [
+                h.strategy for h in hits
+            ]
+            sp.set_attributes(
+                strategies=strategies_used,
+                fallback=not bool(extract_script(completion.text)),
+                script_lines=len(script.splitlines()),
+            )
+            return DraftResult(
+                script=script,
+                prompt=prompt,
+                completion_text=completion.text,
+                strategies_used=strategies_used,
+            )

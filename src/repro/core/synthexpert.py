@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..llm.base import LLMClient
 from ..llm.prompts import build_prompt
 from ..mentor.analyzer import DesignAnalysis
@@ -77,6 +78,21 @@ class SynthExpert:
         ),
     ) -> RefinementResult:
         """Revise the draft one thought step at a time (paper Eq. 6)."""
+        with obs.span("expert.refine") as sp:
+            result = self._refine(draft_script, analysis, protected_prefixes)
+            sp.set_attributes(
+                steps=len(result.trace.steps),
+                repaired=result.trace.num_repaired,
+                dropped=result.trace.num_dropped,
+            )
+            return result
+
+    def _refine(
+        self,
+        draft_script: str,
+        analysis: DesignAnalysis | None,
+        protected_prefixes: tuple[str, ...],
+    ) -> RefinementResult:
         trace = CoTTrace()
         final_lines: list[str] = []
         for index, raw_line in enumerate(draft_script.splitlines()):
@@ -117,29 +133,54 @@ class SynthExpert:
     def _revise_step(self, step: ThoughtStep, analysis: DesignAnalysis | None) -> str:
         line = step.content
         command = line.split()[0]
-        # Q_i: ask the LLM to turn the step into a retrieval query.
-        step.query = self.llm.complete(
-            build_prompt({"TASK": "FORMULATE QUERY", "THOUGHT STEP": line})
-        ).text.strip()
-        # R_i: manual retrieval for the step's query.
-        hits = self.rag.manual(step.query or line, k=2)
-        step.retrieved = "\n".join(h.text for h in hits)
+        with obs.span("expert.step", index=step.index, command=command) as sp:
+            # Q_i: ask the LLM to turn the step into a retrieval query.
+            step.query = self.llm.complete(
+                build_prompt({"TASK": "FORMULATE QUERY", "THOUGHT STEP": line})
+            ).text.strip()
+            sp.set_attribute("query", step.query)
+            # R_i: manual retrieval for the step's query.
+            hits = self.rag.manual(step.query or line, k=2)
+            step.retrieved = "\n".join(h.text for h in hits)
 
-        if self.rag.command_exists(command):
-            repaired = self._sanitize_options(line)
-            if repaired != line:
+            if self.rag.command_exists(command):
+                repaired = self._sanitize_options(line)
+                if repaired != line:
+                    step.action = "repaired"
+                    obs.info(
+                        "expert.step.repaired",
+                        index=step.index,
+                        reason="undocumented options dropped",
+                        before=line,
+                        after=repaired,
+                    )
+                step.revised = repaired
+                sp.set_attributes(action=step.action, repaired=step.action == "repaired")
+                return repaired
+            # Hallucinated command: repair from intent, grounded in retrieval.
+            replacement = self._repair_from_intent(line, hits)
+            if replacement is not None:
                 step.action = "repaired"
-            step.revised = repaired
-            return repaired
-        # Hallucinated command: repair from intent, grounded in retrieval.
-        replacement = self._repair_from_intent(line, hits)
-        if replacement is not None:
-            step.action = "repaired"
-            step.revised = replacement
-            return replacement
-        step.action = "dropped"
-        step.revised = ""
-        return ""
+                step.revised = replacement
+                sp.set_attributes(action="repaired", repaired=True)
+                obs.info(
+                    "expert.step.repaired",
+                    index=step.index,
+                    reason="hallucinated command replaced from intent",
+                    before=line,
+                    after=replacement,
+                )
+                return replacement
+            step.action = "dropped"
+            step.revised = ""
+            sp.set_attributes(action="dropped", repaired=False)
+            obs.info(
+                "expert.step.dropped",
+                index=step.index,
+                reason="command not in manual, no intent match",
+                before=line,
+            )
+            return ""
 
     @staticmethod
     def _repair_from_intent(line: str, hits) -> str | None:

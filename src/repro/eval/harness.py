@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..core.baseline_runner import BaselineRunner
 from ..core.chatls import ChatLS
 from ..designs.chipyard import generate_corpus, generate_family_variant
@@ -97,9 +98,10 @@ def run_table4_baseline(
         return name, run.qor, report
 
     result = Table4Result()
-    for name, qor, report in parallel_map(synthesize, names, jobs=jobs):
-        result.rows[name] = qor
-        result.reports[name] = report
+    with obs.span("eval.table4", designs=len(names)):
+        for name, qor, report in parallel_map(synthesize, names, jobs=jobs):
+            result.rows[name] = qor
+            result.reports[name] = report
     return result
 
 
@@ -164,25 +166,30 @@ def run_table3_customization(
 
     def evaluate(task: tuple[str, str]) -> QoRSnapshot | None:
         model_name, design = task
-        bench = get_benchmark(design)
-        script = baseline_script(bench)
-        report = table4.reports[design]
-        if model_name == "ChatLS":
-            run = chatls.customize_pass_at_k(
-                bench.verilog, bench.name, script, TIMING_REQUIREMENT,
-                k=k, tool_report=report, top=bench.top,
-                clock_period=bench.clock_period,
-            )
-        else:
-            run = runners[model_name].run_pass_at_k(
-                bench.verilog, bench.name, script, TIMING_REQUIREMENT,
-                k=k, tool_report=report, top=bench.top,
-            )
-        return run.qor
+        with obs.span("eval.cell", model=model_name, design=design) as sp:
+            bench = get_benchmark(design)
+            script = baseline_script(bench)
+            report = table4.reports[design]
+            if model_name == "ChatLS":
+                run = chatls.customize_pass_at_k(
+                    bench.verilog, bench.name, script, TIMING_REQUIREMENT,
+                    k=k, tool_report=report, top=bench.top,
+                    clock_period=bench.clock_period,
+                )
+            else:
+                run = runners[model_name].run_pass_at_k(
+                    bench.verilog, bench.name, script, TIMING_REQUIREMENT,
+                    k=k, tool_report=report, top=bench.top,
+                )
+            sp.set_attribute("executable", run.qor is not None)
+            return run.qor
 
     tasks = [(model, design) for design in names for model in model_names]
-    for (model_name, design), qor in zip(tasks, parallel_map(evaluate, tasks, jobs=jobs)):
-        result.models[model_name][design] = qor
+    with obs.span("eval.table3", designs=len(names), models=len(model_names), k=k):
+        for (model_name, design), qor in zip(
+            tasks, parallel_map(evaluate, tasks, jobs=jobs)
+        ):
+            result.models[model_name][design] = qor
     return result
 
 
@@ -250,6 +257,15 @@ def run_fig5_synthrag(
     Series: design-level retrieval with and without the domain reranker
     (Eq. 5), plus module-level retrieval and manual retrieval.
     """
+    with obs.span("eval.fig5", ks=list(ks)):
+        return _run_fig5_synthrag(database, query_variants, ks)
+
+
+def _run_fig5_synthrag(
+    database: ExpertDatabase | None,
+    query_variants: tuple[int, ...],
+    ks: tuple[int, ...],
+) -> Fig5Result:
     database = database or _trained_database(variants_per_family=2)
     encoder = database.encoder
     retriever = EmbeddingRetriever(database)
@@ -348,23 +364,24 @@ def run_fig4_metric_learning(
     from ..mentor.embeddings import CircuitEncoder
     from ..mentor.metric_learning import MetricTrainer, clustering_quality
 
-    corpus = generate_corpus(variants_per_family)
-    families = sorted({d.family for d in corpus})
-    label_of = {f: i for i, f in enumerate(families)}
-    graphs, labels = [], []
-    for design in corpus:
-        circuit = build_circuit_graph(design.verilog, design.name, top=design.top)
-        graphs.append(circuit.design_graph())
-        labels.append(label_of[design.family])
+    with obs.span("eval.fig4", epochs=epochs, loss=loss):
+        corpus = generate_corpus(variants_per_family)
+        families = sorted({d.family for d in corpus})
+        label_of = {f: i for i, f in enumerate(families)}
+        graphs, labels = [], []
+        for design in corpus:
+            circuit = build_circuit_graph(design.verilog, design.name, top=design.top)
+            graphs.append(circuit.design_graph())
+            labels.append(label_of[design.family])
 
-    encoder = CircuitEncoder(seed=seed)
-    embeddings0 = np.vstack([encoder.model.embed_graph(g) for g in graphs])
-    before = clustering_quality(_normalize_rows(embeddings0), np.array(labels))
-    trainer = MetricTrainer(encoder, loss=loss, seed=seed)
-    stats = trainer.train(graphs, labels, epochs=epochs)
-    embeddings1 = np.vstack([encoder.model.embed_graph(g) for g in graphs])
-    after = clustering_quality(_normalize_rows(embeddings1), np.array(labels))
-    return Fig4Result(before=before, after=after, losses=stats.losses)
+        encoder = CircuitEncoder(seed=seed)
+        embeddings0 = np.vstack([encoder.model.embed_graph(g) for g in graphs])
+        before = clustering_quality(_normalize_rows(embeddings0), np.array(labels))
+        trainer = MetricTrainer(encoder, loss=loss, seed=seed)
+        stats = trainer.train(graphs, labels, epochs=epochs)
+        embeddings1 = np.vstack([encoder.model.embed_graph(g) for g in graphs])
+        after = clustering_quality(_normalize_rows(embeddings1), np.array(labels))
+        return Fig4Result(before=before, after=after, losses=stats.losses)
 
 
 def _normalize_rows(matrix: np.ndarray) -> np.ndarray:

@@ -84,6 +84,19 @@ def main(argv: list[str] | None = None) -> int:
         )
     )
     print(f"\n[total {time.time() - start:.0f}s]")
+
+    # When REPRO_TRACE is set, close the eval run with the per-stage
+    # observability breakdown so every harness run emits its report.
+    from .. import obs
+
+    tracer = obs.get_tracer()
+    if tracer.enabled and tracer.format == "jsonl":
+        tracer.flush()
+        from ..obs.report import load_events, render_report
+
+        print()
+        print("=" * 72)
+        print(render_report(load_events(tracer.path)))
     return 0
 
 

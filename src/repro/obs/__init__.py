@@ -1,0 +1,63 @@
+"""``repro.obs``: end-to-end pipeline observability.
+
+Three layers over the same span/event model:
+
+* :mod:`repro.obs.tracer` — hierarchical span tracer (``REPRO_TRACE``),
+  contextvars-nested across ``parallel_map`` worker threads, exporting
+  JSONL or Chrome trace-event JSON;
+* :mod:`repro.obs.logs` — structured JSON-lines logging (``REPRO_LOG``)
+  with trace/span correlation ids;
+* :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``,
+  the per-stage time breakdown / counter / slowest-span report.
+
+Everything is off by default and near-zero overhead when disabled, so
+call sites are never guarded.
+"""
+
+from .logs import (
+    LEVELS,
+    StructuredLogger,
+    configure_logging,
+    debug,
+    error,
+    get_logger,
+    info,
+    log,
+    logging_enabled,
+    warning,
+)
+from .tracer import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    configure,
+    current_span,
+    event,
+    flush,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "LEVELS",
+    "NOOP_SPAN",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "configure",
+    "configure_logging",
+    "current_span",
+    "debug",
+    "error",
+    "event",
+    "flush",
+    "get_logger",
+    "get_tracer",
+    "info",
+    "log",
+    "logging_enabled",
+    "span",
+    "tracing_enabled",
+    "warning",
+]

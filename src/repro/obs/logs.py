@@ -1,0 +1,144 @@
+"""Structured logging for the ChatLS pipeline.
+
+One JSON object per line, carrying the event name, free-form fields and —
+when emitted inside an open span — the current trace/span ids, so log
+lines join against the trace.  Enabled by ``REPRO_LOG=<level>``
+(``debug`` | ``info`` | ``warning`` | ``error``); disabled (the default)
+every helper is a cheap no-op.  ``REPRO_LOG_FILE=<path>`` redirects the
+stream from stderr to a file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, IO
+
+from .tracer import _CURRENT
+
+__all__ = [
+    "LEVELS",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+    "logging_enabled",
+    "log",
+    "debug",
+    "info",
+    "warning",
+    "error",
+]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class StructuredLogger:
+    """JSON-lines logger with a severity threshold.
+
+    ``level=None`` disables the logger entirely: :meth:`log` returns after
+    one comparison, with no formatting, no time call and no I/O.
+    """
+
+    def __init__(self, level: str | None = None, stream: IO[str] | None = None) -> None:
+        if level is not None and level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; known: {sorted(LEVELS)}")
+        self.level = level
+        self.threshold = LEVELS[level] if level is not None else None
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold is not None
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        if self.threshold is None or LEVELS.get(level, 0) < self.threshold:
+            return
+        record: dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "event": event,
+        }
+        span = _CURRENT.get()
+        if span is not None:
+            record["trace"] = span.trace_id
+            record["span"] = span.span_id
+        record["thread"] = threading.current_thread().name
+        record.update(fields)
+        line = json.dumps(record, default=str)
+        stream = self._stream or sys.stderr
+        with self._lock:
+            stream.write(line + "\n")
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+# -- module-level state -------------------------------------------------------
+
+_LOCK = threading.Lock()
+_LOGGER: StructuredLogger | None = None
+
+
+def get_logger() -> StructuredLogger:
+    """The active logger, lazily configured from ``REPRO_LOG``."""
+    global _LOGGER
+    logger = _LOGGER
+    if logger is None:
+        with _LOCK:
+            if _LOGGER is None:
+                level = os.environ.get("REPRO_LOG", "").strip().lower() or None
+                stream = None
+                path = os.environ.get("REPRO_LOG_FILE", "").strip()
+                if level is not None and level not in LEVELS:
+                    level = "info"  # any unknown/true-ish value means "on"
+                if level is not None and path:
+                    stream = open(path, "a")
+                _LOGGER = StructuredLogger(level, stream)
+            logger = _LOGGER
+    return logger
+
+
+def configure_logging(level: str | None = None,
+                      stream: IO[str] | None = None) -> StructuredLogger:
+    """Install a fresh logger (``level=None`` disables logging)."""
+    global _LOGGER
+    with _LOCK:
+        _LOGGER = StructuredLogger(level, stream)
+        return _LOGGER
+
+
+def logging_enabled() -> bool:
+    return get_logger().enabled
+
+
+def log(level: str, event: str, **fields: Any) -> None:
+    get_logger().log(level, event, **fields)
+
+
+def debug(event: str, **fields: Any) -> None:
+    get_logger().log("debug", event, **fields)
+
+
+def info(event: str, **fields: Any) -> None:
+    get_logger().log("info", event, **fields)
+
+
+def warning(event: str, **fields: Any) -> None:
+    get_logger().log("warning", event, **fields)
+
+
+def error(event: str, **fields: Any) -> None:
+    get_logger().log("error", event, **fields)

@@ -1,0 +1,187 @@
+"""Run-report CLI over a JSONL trace.
+
+Usage::
+
+    python -m repro.obs.report trace.jsonl [--top N] [--chrome out.json]
+
+Prints a per-stage wall-clock breakdown (total, calls, p50/p95/max
+aggregated by span name), the perf counter summary captured at tracer
+shutdown, and the slowest individual spans.  ``--chrome`` additionally
+converts the trace to Chrome trace-event JSON for Perfetto.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from ..eval.tables import render_table
+from .chrome import write_chrome
+
+__all__ = ["load_events", "summarize", "render_report", "main"]
+
+
+def load_events(path: str) -> list[dict]:
+    """Parse a JSONL trace file into event records."""
+    events = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON ({exc})") from exc
+    return events
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (q in [0, 1])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def summarize(events: list[dict]) -> dict[str, Any]:
+    """Aggregate trace events into the report's structured form."""
+    spans = [e for e in events if e.get("type") == "span"]
+    by_name: dict[str, list[float]] = {}
+    for record in spans:
+        by_name.setdefault(record["name"], []).append(record["dur"])
+    stages = {
+        name: {
+            "total_s": round(sum(durs), 6),
+            "calls": len(durs),
+            "p50_s": round(percentile(durs, 0.50), 6),
+            "p95_s": round(percentile(durs, 0.95), 6),
+            "max_s": round(max(durs), 6),
+        }
+        for name, durs in by_name.items()
+    }
+    counters: dict[str, int] = {}
+    caches: dict[str, dict] = {}
+    for record in events:
+        if record.get("type") == "snapshot":
+            counters = record.get("perf", {}).get("counters", {})
+            caches = record.get("perf", {}).get("caches", {})
+    if not counters:
+        # No shutdown snapshot (e.g. a truncated trace): reconstruct from
+        # the per-span perf deltas of root spans, which contain their
+        # whole subtree's activity exactly once.
+        for record in spans:
+            if record.get("parent"):
+                continue
+            for key, value in (record.get("attrs", {}).get("perf") or {}).items():
+                counters[key] = counters.get(key, 0) + value
+    threads = {r.get("tname", "?") for r in spans}
+    slowest = sorted(spans, key=lambda r: r["dur"], reverse=True)
+    return {
+        "spans": len(spans),
+        "traces": len({r["trace"] for r in spans}),
+        "threads": sorted(threads),
+        "stages": stages,
+        "counters": counters,
+        "caches": caches,
+        "slowest": slowest,
+    }
+
+
+def render_report(events: list[dict], top: int = 10) -> str:
+    """Render the human-readable run report."""
+    summary = summarize(events)
+    out = [
+        "OBSERVABILITY RUN REPORT",
+        f"  spans: {summary['spans']}  traces: {summary['traces']}"
+        f"  threads: {len(summary['threads'])}",
+        "",
+    ]
+    stage_rows = [
+        [name, s["total_s"], s["calls"], s["p50_s"], s["p95_s"], s["max_s"]]
+        for name, s in sorted(
+            summary["stages"].items(), key=lambda kv: kv[1]["total_s"], reverse=True
+        )
+    ]
+    out.append(
+        render_table(
+            ["Stage", "Total (s)", "Calls", "p50 (s)", "p95 (s)", "Max (s)"],
+            [[r[0], _s(r[1]), r[2], _s(r[3]), _s(r[4]), _s(r[5])] for r in stage_rows],
+            title="Per-stage time breakdown",
+        )
+    )
+    if summary["counters"]:
+        out.append("")
+        out.append(
+            render_table(
+                ["Counter", "Value"],
+                sorted(summary["counters"].items()),
+                title="Perf counters",
+            )
+        )
+    if summary["caches"]:
+        out.append("")
+        out.append(
+            render_table(
+                ["Cache", "Entries", "Hits", "Misses"],
+                [
+                    [name, c.get("entries", 0), c.get("hits", 0), c.get("misses", 0)]
+                    for name, c in sorted(summary["caches"].items())
+                ],
+                title="Caches",
+            )
+        )
+    out.append("")
+    slow_rows = [
+        [
+            r["name"],
+            _s(r["dur"]),
+            r.get("tname", "?"),
+            _attr_hint(r.get("attrs") or {}),
+        ]
+        for r in summary["slowest"][:top]
+    ]
+    out.append(
+        render_table(
+            ["Span", "Dur (s)", "Thread", "Attributes"],
+            slow_rows,
+            title=f"Slowest spans (top {min(top, len(slow_rows))})",
+        )
+    )
+    return "\n".join(out)
+
+
+def _s(value: float) -> str:
+    return f"{value:.6f}"
+
+
+def _attr_hint(attrs: dict, limit: int = 60) -> str:
+    pairs = [f"{k}={v}" for k, v in attrs.items() if k != "perf"]
+    text = " ".join(pairs)
+    return text[: limit - 1] + "…" if len(text) > limit else text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to a JSONL trace (REPRO_TRACE output)")
+    parser.add_argument("--top", type=int, default=10, help="slowest spans to list")
+    parser.add_argument("--chrome", metavar="OUT.json",
+                        help="also convert to Chrome trace-event JSON")
+    args = parser.parse_args(argv)
+    events = load_events(args.trace)
+    if not any(e.get("type") == "span" for e in events):
+        print(f"{args.trace}: no spans recorded", file=sys.stderr)
+        return 1
+    print(render_report(events, top=args.top))
+    if args.chrome:
+        meta = next((e for e in events if e.get("type") == "meta"), None)
+        write_chrome(events, args.chrome, meta=meta)
+        print(f"\n[chrome trace written to {args.chrome}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,374 @@
+"""Hierarchical span tracer for the ChatLS pipeline.
+
+A *span* is one timed region of the pipeline — a customization run, one
+SynthRAG retrieval, one SynthExpert thought-step revision, one synthesis
+phase.  Spans carry a trace id (shared by every span of one root
+operation), a span id, a parent span id and free-form key-value
+attributes, and nest through :mod:`contextvars` so spans opened inside
+``parallel_map`` worker threads attach to the harness span that spawned
+them.  On close, each span also records the :mod:`repro.perf` counter
+deltas observed while it was open (cache hits/misses, ``sta.incremental``
+vs ``sta.full`` ...), which is how wall-clock gets attributed to cache
+behaviour per stage.
+
+Tracing is **off by default** and configured through the environment:
+
+* ``REPRO_TRACE=<path>`` — enable tracing; ``*.jsonl`` paths get a JSONL
+  event log (one JSON object per line), ``*.json`` paths get Chrome
+  trace-event format loadable in Perfetto / ``chrome://tracing``.
+
+When disabled, :func:`span` returns a shared no-op context manager — one
+function call and no allocation beyond the kwargs dict, no events, no
+file I/O.  Programmatic configuration (tests, embedding) goes through
+:func:`configure`.
+
+Span naming convention (see DESIGN.md):
+
+* ``chatls.*`` — framework stages (prepare, draft, sample, customize);
+* ``rag.*`` — the three SynthRAG retrieval modes;
+* ``expert.*`` — SynthExpert CoT refinement;
+* ``synth.*`` — synthesis engine phases (elaborate, techmap, optimize, sta);
+* ``eval.*`` — harness fan-out (tables, cells, parallel tasks).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import json
+import os
+import threading
+import time
+from contextvars import ContextVar
+from typing import Any
+
+from .. import perf
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NOOP_SPAN",
+    "span",
+    "event",
+    "current_span",
+    "get_tracer",
+    "configure",
+    "tracing_enabled",
+    "flush",
+]
+
+#: The innermost open span of the current execution context.  Copied into
+#: worker threads by ``parallel_map`` (via ``contextvars.copy_context``),
+#: which is what makes cross-thread span nesting work.
+_CURRENT: ContextVar["Span | None"] = ContextVar("repro_obs_span", default=None)
+
+_SPAN_IDS = itertools.count(1)
+_TRACE_IDS = itertools.count(1)
+
+#: Events buffered before a flush is forced (jsonl only).
+_FLUSH_EVERY = 512
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+
+    def set_attribute(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+    def set_attributes(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The singleton returned by :func:`span` when tracing is disabled.  It is
+#: stateless, so re-entering it concurrently from many threads is safe.
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed, attributed region of the pipeline."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "attrs",
+        "start",
+        "end",
+        "thread_id",
+        "thread_name",
+        "_token",
+        "_counters_before",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = f"{next(_SPAN_IDS):08x}"
+        self.trace_id = ""
+        self.parent_id: str | None = None
+        self.start = 0.0
+        self.end = 0.0
+        self.thread_id = 0
+        self.thread_name = ""
+        self._token = None
+        self._counters_before: dict[str, int] | None = None
+
+    # -- attributes ---------------------------------------------------------
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def set_attributes(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        """Attach a point-in-time event to this span."""
+        self._tracer._record_event(
+            {
+                "type": "event",
+                "name": name,
+                "trace": self.trace_id,
+                "span": self.span_id,
+                "ts": round(time.perf_counter() - self._tracer.epoch, 9),
+                "attrs": attrs,
+            }
+        )
+
+    # -- context manager protocol -------------------------------------------
+
+    def __enter__(self) -> "Span":
+        parent = _CURRENT.get()
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        else:
+            self.trace_id = f"{next(_TRACE_IDS):08x}"
+        thread = threading.current_thread()
+        self.thread_id = thread.ident or 0
+        self.thread_name = thread.name
+        self._token = _CURRENT.set(self)
+        if self._tracer.record_perf:
+            self._counters_before = perf.registry.counters()
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        _CURRENT.reset(self._token)
+        if exc_type is not None:
+            self.attrs["error"] = f"{exc_type.__name__}: {exc}"
+        if self._counters_before is not None:
+            after = perf.registry.counters()
+            delta = {
+                key: value - self._counters_before.get(key, 0)
+                for key, value in after.items()
+                if value != self._counters_before.get(key, 0)
+            }
+            if delta:
+                self.attrs["perf"] = delta
+        self._tracer._record_span(self)
+        return False
+
+
+class Tracer:
+    """Collects span/event records and exports them on flush.
+
+    ``path`` selects both the destination and the format: ``*.json``
+    writes Chrome trace-event JSON (one array, rewritten per flush),
+    anything else writes JSONL (one event object per line).  A ``None``
+    path disables the tracer entirely.
+    """
+
+    def __init__(self, path: str | None = None, fmt: str | None = None,
+                 record_perf: bool = True) -> None:
+        self.path = path
+        self.enabled = path is not None
+        if fmt is None:
+            fmt = "chrome" if path is not None and path.endswith(".json") else "jsonl"
+        self.format = fmt
+        self.record_perf = record_perf and self.enabled
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._flushed = 0  # jsonl: events already written to the file
+        self._wrote_header = False
+
+    # -- span factory --------------------------------------------------------
+
+    def start_span(self, name: str, attrs: dict[str, Any]) -> Span:
+        return Span(self, name, attrs)
+
+    # -- recording -----------------------------------------------------------
+
+    def _record_span(self, span: Span) -> None:
+        self._record_event(
+            {
+                "type": "span",
+                "name": span.name,
+                "trace": span.trace_id,
+                "span": span.span_id,
+                "parent": span.parent_id,
+                "ts": round(span.start - self.epoch, 9),
+                "dur": round(span.end - span.start, 9),
+                "tid": span.thread_id,
+                "tname": span.thread_name,
+                "attrs": span.attrs,
+            }
+        )
+
+    def _record_event(self, record: dict) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._events.append(record)
+            pending = len(self._events) - self._flushed
+        if self.format == "jsonl" and pending >= _FLUSH_EVERY:
+            self.flush()
+
+    def events(self) -> list[dict]:
+        """All events recorded so far (copy)."""
+        with self._lock:
+            return list(self._events)
+
+    # -- export --------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write buffered events to :attr:`path`."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if self.format == "jsonl":
+                pending = self._events[self._flushed :]
+                header = not self._wrote_header
+                self._wrote_header = True
+                self._flushed = len(self._events)
+                lines = []
+                if header:
+                    lines.append(json.dumps(self._meta()))
+                lines.extend(json.dumps(e, default=str) for e in pending)
+                if lines:
+                    mode = "w" if header else "a"
+                    with open(self.path, mode) as fh:
+                        fh.write("\n".join(lines) + "\n")
+            else:
+                from .chrome import to_chrome
+
+                with open(self.path, "w") as fh:
+                    json.dump(to_chrome(self._events, meta=self._meta()), fh)
+
+    def shutdown(self) -> None:
+        """Final export: append a perf snapshot event, then flush."""
+        if not self.enabled:
+            return
+        self._record_event(
+            {
+                "type": "snapshot",
+                "ts": round(time.perf_counter() - self.epoch, 9),
+                "perf": perf.snapshot(),
+            }
+        )
+        self.flush()
+
+    def _meta(self) -> dict:
+        return {
+            "type": "meta",
+            "pid": os.getpid(),
+            "unix_time": time.time(),
+            "format": self.format,
+        }
+
+
+# -- module-level state -------------------------------------------------------
+
+_LOCK = threading.Lock()
+_TRACER: Tracer | None = None
+
+
+def get_tracer() -> Tracer:
+    """The active tracer, lazily configured from ``REPRO_TRACE``."""
+    global _TRACER
+    tracer = _TRACER
+    if tracer is None:
+        with _LOCK:
+            if _TRACER is None:
+                path = os.environ.get("REPRO_TRACE", "").strip() or None
+                _TRACER = Tracer(path)
+            tracer = _TRACER
+    return tracer
+
+
+def configure(path: str | None = None, fmt: str | None = None,
+              record_perf: bool = True) -> Tracer:
+    """Install a fresh tracer (``path=None`` disables tracing)."""
+    global _TRACER
+    with _LOCK:
+        _TRACER = Tracer(path, fmt=fmt, record_perf=record_perf)
+        return _TRACER
+
+
+def tracing_enabled() -> bool:
+    return get_tracer().enabled
+
+
+def span(name: str, **attrs: Any):
+    """Open a span (use as a context manager).
+
+    No-op (a shared singleton, no allocation or I/O) when tracing is
+    disabled, so call sites never need to guard::
+
+        with obs.span("rag.manual", k=k) as sp:
+            hits = ...
+            sp.set_attribute("hits", len(hits))
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return NOOP_SPAN
+    return tracer.start_span(name, attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a point event on the current span (no-op when disabled)."""
+    current = _CURRENT.get()
+    if current is not None:
+        current.add_event(name, **attrs)
+
+
+def current_span() -> "Span | _NoopSpan":
+    """The innermost open span of this context (NOOP_SPAN when none)."""
+    return _CURRENT.get() or NOOP_SPAN
+
+
+def flush() -> None:
+    """Flush the active tracer (convenience for harness shutdown hooks)."""
+    get_tracer().flush()
+
+
+@atexit.register
+def _shutdown_at_exit() -> None:
+    tracer = _TRACER
+    if tracer is not None and tracer.enabled:
+        tracer.shutdown()

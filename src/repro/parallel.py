@@ -7,6 +7,14 @@ construction; the synthesis cache and perf registry are lock-protected).
 This module provides the one primitive they need: an order-preserving
 ``parallel_map`` over :mod:`concurrent.futures` threads.
 
+Each task runs inside a copy of the **caller's** ``contextvars.Context``
+(one fresh copy per task, taken at submit time), so ambient context —
+in particular the current :mod:`repro.obs` span — survives the thread
+hop and worker spans nest under the harness span that spawned them.
+Submit→start latency is recorded per task in the
+``eval.parallel_queue_wait`` perf timer, which is how queueing delay is
+told apart from actual work when a fan-out is slower than expected.
+
 Job count resolution, in priority order:
 
 1. explicit ``jobs=`` argument;
@@ -21,11 +29,13 @@ only how long it takes.
 
 from __future__ import annotations
 
+import contextvars
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from . import perf
+from . import obs, perf
 
 __all__ = ["DEFAULT_MAX_JOBS", "resolve_jobs", "parallel_map"]
 
@@ -50,6 +60,24 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return max(1, jobs)
 
 
+def _run_task(
+    ctx: contextvars.Context,
+    fn: Callable[[T], R],
+    item: T,
+    index: int,
+    label: str,
+    submitted: float,
+) -> R:
+    """Worker-side wrapper: queue-wait timing + caller-context execution."""
+    perf.add_time("eval.parallel_queue_wait", time.perf_counter() - submitted)
+    return ctx.run(_run_traced, fn, item, index, label)
+
+
+def _run_traced(fn: Callable[[T], R], item: T, index: int, label: str) -> R:
+    with obs.span("eval.task", label=label, index=index):
+        return fn(item)
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -70,4 +98,19 @@ def parallel_map(
     perf.incr("eval.parallel_batches")
     perf.incr("eval.parallel_tasks", len(work))
     with ThreadPoolExecutor(max_workers=workers, thread_name_prefix=label) as pool:
-        return list(pool.map(fn, work))
+        # One context copy per task, taken here in the caller's thread:
+        # a Context can only be entered once at a time, so tasks sharing
+        # a single copy would collide when they run concurrently.
+        futures = [
+            pool.submit(
+                _run_task,
+                contextvars.copy_context(),
+                fn,
+                item,
+                index,
+                label,
+                time.perf_counter(),
+            )
+            for index, item in enumerate(work)
+        ]
+        return [future.result() for future in futures]

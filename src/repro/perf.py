@@ -6,7 +6,11 @@ registry so speedups are *measured*, not asserted:
 
 * counters — monotonically increasing event counts
   (``sta.full``, ``sta.incremental``, ``synthcache.hit`` ...);
-* timers — accumulated wall-clock per labelled region with call counts.
+* timers — accumulated wall-clock per labelled region with call counts,
+  plus a bounded reservoir of per-call durations so ``snapshot()`` can
+  report p50/p95/max without unbounded memory;
+* stats providers — callables (the caches register theirs) whose output
+  ``snapshot()`` surfaces under a ``caches`` key.
 
 The registry is process-global and thread-safe (the parallel evaluation
 executor updates it from worker threads).  Overhead is a dict update per
@@ -24,9 +28,11 @@ Usage::
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from contextlib import contextmanager
+from typing import Callable
 
 __all__ = [
     "PerfRegistry",
@@ -37,7 +43,50 @@ __all__ = [
     "elapsed",
     "snapshot",
     "reset",
+    "add_time",
+    "counters",
+    "register_stats_provider",
 ]
+
+#: Per-timer reservoir size: large enough for stable p50/p95, small
+#: enough that a million calls cost a fixed few KiB per label.
+RESERVOIR_CAPACITY = 256
+
+
+class _Reservoir:
+    """Bounded uniform sample of per-call durations (Vitter's algorithm R).
+
+    The RNG is seeded per reservoir, so sampling is deterministic for a
+    given call sequence; the exact maximum is tracked separately because
+    tail spikes are precisely what sampling may drop.
+    """
+
+    __slots__ = ("samples", "seen", "max", "_rng")
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+        self.seen = 0
+        self.max = 0.0
+        self._rng = random.Random(0x5EED)
+
+    def add(self, value: float) -> None:
+        self.seen += 1
+        if value > self.max:
+            self.max = value
+        if len(self.samples) < RESERVOIR_CAPACITY:
+            self.samples.append(value)
+        else:
+            slot = self._rng.randrange(self.seen)
+            if slot < RESERVOIR_CAPACITY:
+                self.samples[slot] = value
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the current sample (q in [0, 1])."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
 
 
 class PerfRegistry:
@@ -48,6 +97,8 @@ class PerfRegistry:
         self._counters: dict[str, int] = {}
         self._time_total: dict[str, float] = {}
         self._time_calls: dict[str, int] = {}
+        self._time_samples: dict[str, _Reservoir] = {}
+        self._providers: dict[str, Callable[[], dict]] = {}
 
     # -- counters -----------------------------------------------------------
 
@@ -58,6 +109,11 @@ class PerfRegistry:
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        """Copy of every counter (the tracer diffs this per span)."""
+        with self._lock:
+            return dict(self._counters)
 
     # -- timers -------------------------------------------------------------
 
@@ -73,32 +129,61 @@ class PerfRegistry:
         with self._lock:
             self._time_total[name] = self._time_total.get(name, 0.0) + seconds
             self._time_calls[name] = self._time_calls.get(name, 0) + 1
+            reservoir = self._time_samples.get(name)
+            if reservoir is None:
+                reservoir = self._time_samples[name] = _Reservoir()
+            reservoir.add(seconds)
 
     def elapsed(self, name: str) -> float:
         with self._lock:
             return self._time_total.get(name, 0.0)
 
+    # -- stats providers ----------------------------------------------------
+
+    def register_stats_provider(self, name: str, provider: Callable[[], dict]) -> None:
+        """Expose an external stats source (a cache) in ``snapshot()``.
+
+        Registering the same name again replaces the provider (modules
+        that reload re-register harmlessly).
+        """
+        with self._lock:
+            self._providers[name] = provider
+
     # -- reporting ----------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Structured dump: ``{"counters": ..., "timers": ...}``."""
+        """Structured dump: ``{"counters": ..., "timers": ...[, "caches": ...]}``.
+
+        Timer entries keep the original ``total_s``/``calls`` keys and add
+        reservoir-estimated ``p50_s``/``p95_s`` plus the exact ``max_s``.
+        """
         with self._lock:
-            return {
+            out = {
                 "counters": dict(self._counters),
                 "timers": {
                     name: {
                         "total_s": round(total, 6),
                         "calls": self._time_calls.get(name, 0),
+                        "p50_s": round(self._time_samples[name].percentile(0.50), 6),
+                        "p95_s": round(self._time_samples[name].percentile(0.95), 6),
+                        "max_s": round(self._time_samples[name].max, 6),
                     }
                     for name, total in self._time_total.items()
                 },
             }
+            providers = dict(self._providers)
+        # Providers run outside the registry lock: they take their own
+        # locks, and their code paths may call back into incr()/add_time().
+        if providers:
+            out["caches"] = {name: fn() for name, fn in providers.items()}
+        return out
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._time_total.clear()
             self._time_calls.clear()
+            self._time_samples.clear()
 
 
 #: The process-global registry used by the module-level helpers.
@@ -107,6 +192,9 @@ registry = PerfRegistry()
 incr = registry.incr
 timer = registry.timer
 counter = registry.counter
+counters = registry.counters
 elapsed = registry.elapsed
 snapshot = registry.snapshot
 reset = registry.reset
+add_time = registry.add_time
+register_stats_provider = registry.register_stats_provider

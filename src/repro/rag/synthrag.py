@@ -15,6 +15,7 @@ from typing import Any
 
 import numpy as np
 
+from .. import obs
 from ..designs.database import ExpertDatabase
 from ..graphdb import GraphStore
 from ..llm.base import LLMClient
@@ -99,29 +100,62 @@ class SynthRAG:
     def retrieve_strategies(
         self, query_embedding: np.ndarray, k: int = 3
     ) -> list[StrategyHit]:
-        return self.embedding_retriever.retrieve_strategies(query_embedding, k=k)
+        with obs.span("rag.embedding", mode="strategies", k=k) as sp:
+            hits = self.embedding_retriever.retrieve_strategies(query_embedding, k=k)
+            sp.set_attributes(
+                hits=len(hits),
+                scores=[round(h.similarity, 4) for h in hits],
+                strategies=[h.strategy for h in hits],
+            )
+            return hits
 
     def similar_designs(self, query_embedding: np.ndarray, k: int = 3):
-        return self.embedding_retriever.retrieve_designs(query_embedding, k=k)
+        with obs.span("rag.embedding", mode="designs", k=k) as sp:
+            hits = self.embedding_retriever.retrieve_designs(query_embedding, k=k)
+            sp.set_attributes(
+                hits=len(hits), scores=[round(h.score, 4) for h in hits]
+            )
+            return hits
 
     def similar_modules(self, query_embedding: np.ndarray, k: int = 3):
-        return self.embedding_retriever.retrieve_modules(query_embedding, k=k)
+        with obs.span("rag.embedding", mode="modules", k=k) as sp:
+            hits = self.embedding_retriever.retrieve_modules(query_embedding, k=k)
+            sp.set_attributes(
+                hits=len(hits), scores=[round(h.score, 4) for h in hits]
+            )
+            return hits
 
     # -- graph-structure mode --------------------------------------------------
 
     def module_code(self, module_name: str) -> str | None:
-        return self.structure_retriever.module_code(module_name)
+        with obs.span("rag.structure", kind="module_code", target=module_name) as sp:
+            code = self.structure_retriever.module_code(module_name)
+            sp.set_attribute("found", code is not None)
+            return code
 
     def cell_info(self, cell_name: str) -> dict[str, Any] | None:
-        return self.structure_retriever.cell_info(cell_name)
+        with obs.span("rag.structure", kind="cell_info", target=cell_name) as sp:
+            info = self.structure_retriever.cell_info(cell_name)
+            sp.set_attribute("found", info is not None)
+            return info
 
     def cypher(self, query: str, target: str = "circuit") -> list[dict[str, Any]]:
-        return self.structure_retriever.query(query, target=target)
+        with obs.span("rag.structure", kind="cypher", target=target) as sp:
+            rows = self.structure_retriever.query(query, target=target)
+            sp.set_attribute("rows", len(rows))
+            return rows
 
     # -- LLM-embedding mode ------------------------------------------------------
 
     def manual(self, query: str, k: int = 3):
-        return self.manual_retriever.retrieve(query, k=k)
+        with obs.span("rag.manual", k=k, query=query[:80]) as sp:
+            hits = self.manual_retriever.retrieve(query, k=k)
+            sp.set_attributes(
+                hits=len(hits),
+                commands=[h.command for h in hits],
+                scores=[round(h.score, 4) for h in hits],
+            )
+            return hits
 
     def command_exists(self, command: str) -> bool:
         """Whether the manual documents the command (hallucination check)."""

@@ -26,7 +26,7 @@ import os
 import threading
 from collections import OrderedDict
 
-from .. import perf
+from .. import obs, perf
 from ..hdl.elaborator import elaborate
 from ..hdl.netlist import Netlist
 from .dcshell import DCShell, ScriptResult
@@ -39,6 +39,7 @@ __all__ = [
     "synthesis_key",
     "synthesize_cached",
     "elaborate_cached",
+    "netlist_cache_stats",
     "clear_caches",
 ]
 
@@ -126,12 +127,26 @@ _DEFAULT = SynthesisCache()
 _NETLIST_LOCK = threading.Lock()
 _NETLISTS: OrderedDict[str, Netlist] = OrderedDict()
 _NETLIST_LIMIT = 64
+_NETLIST_HITS = 0
+_NETLIST_MISSES = 0
+
+
+def netlist_cache_stats() -> dict:
+    """Hit/miss/occupancy stats, shaped like :meth:`SynthesisCache.stats`."""
+    with _NETLIST_LOCK:
+        return {
+            "entries": len(_NETLISTS),
+            "hits": _NETLIST_HITS,
+            "misses": _NETLIST_MISSES,
+        }
 
 
 def elaborate_cached(source: str, top: str | None = None) -> Netlist:
     """Elaborate RTL, serving repeated (source, top) pairs as clones."""
+    global _NETLIST_HITS, _NETLIST_MISSES
     if not cache_enabled():
-        return elaborate(source, top)
+        with obs.span("synth.elaborate", cached=False):
+            return elaborate(source, top)
     digest = hashlib.sha256()
     digest.update(source.encode())
     digest.update(b"\x00")
@@ -141,12 +156,15 @@ def elaborate_cached(source: str, top: str | None = None) -> Netlist:
         hit = _NETLISTS.get(key)
         if hit is not None:
             _NETLISTS.move_to_end(key)
+            _NETLIST_HITS += 1
     if hit is not None:
         perf.incr("netcache.hit")
         return hit.clone()
     perf.incr("netcache.miss")
-    netlist = elaborate(source, top)
+    with obs.span("synth.elaborate", cached=False):
+        netlist = elaborate(source, top)
     with _NETLIST_LOCK:
+        _NETLIST_MISSES += 1
         _NETLISTS[key] = netlist.clone()
         while len(_NETLISTS) > _NETLIST_LIMIT:
             _NETLISTS.popitem(last=False)
@@ -160,9 +178,17 @@ def default_cache() -> SynthesisCache:
 
 def clear_caches() -> None:
     """Empty every process-global cache (benchmark cold-start helper)."""
+    global _NETLIST_HITS, _NETLIST_MISSES
     _DEFAULT.clear()
     with _NETLIST_LOCK:
         _NETLISTS.clear()
+        _NETLIST_HITS = 0
+        _NETLIST_MISSES = 0
+
+
+# Surface both caches in ``perf.snapshot()["caches"]``.
+perf.register_stats_provider("synthesis", _DEFAULT.stats)
+perf.register_stats_provider("netlist", netlist_cache_stats)
 
 
 def synthesize_cached(
@@ -183,16 +209,22 @@ def synthesize_cached(
     use_cache = cache_enabled()
     # `cache or _DEFAULT` would discard an *empty* cache (len() == 0 is falsy).
     store = _DEFAULT if cache is None else cache
-    shell = DCShell(library=library)
-    key = None
-    if use_cache:
-        key = synthesis_key(shell.library.name, design_name, verilog, top, script)
-        cached = store.get(key)
-        if cached is not None:
-            return cached
-    shell.add_design(design_name, verilog, top=top)
-    with perf.timer("synth.run_script"):
-        result = shell.run_script(script)
-    if use_cache and key is not None:
-        store.put(key, result)
-    return result
+    with obs.span("synth.synthesize", design=design_name) as sp:
+        shell = DCShell(library=library)
+        key = None
+        if use_cache:
+            key = synthesis_key(shell.library.name, design_name, verilog, top, script)
+            cached = store.get(key)
+            if cached is not None:
+                sp.set_attribute("cached", True)
+                return cached
+        sp.set_attribute("cached", False)
+        shell.add_design(design_name, verilog, top=top)
+        with perf.timer("synth.run_script"):
+            result = shell.run_script(script)
+        sp.set_attribute("success", result.success)
+        if not result.success:
+            obs.warning("synth.script_failed", design=design_name, error=result.error)
+        if use_cache and key is not None:
+            store.put(key, result)
+        return result

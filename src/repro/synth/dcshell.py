@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..hdl.elaborator import ElaborationError, elaborate
 from ..hdl.netlist import Netlist
 from ..hdl.parser import ParseError
@@ -97,12 +98,16 @@ class DCShell:
 
     def run_script(self, script: str) -> ScriptResult:
         """Execute a full Tcl script; never raises (errors are captured)."""
-        try:
-            transcript = self.interp.eval_script(script)
-        except (TclError, ElaborationError, ParseError, KeyError, ValueError) as exc:
-            return ScriptResult(success=False, error=str(exc))
-        qor = self.qor() if self.netlist is not None else None
-        return ScriptResult(success=True, error=None, transcript=transcript, qor=qor)
+        with obs.span("synth.script", commands=len(script.splitlines())) as sp:
+            try:
+                transcript = self.interp.eval_script(script)
+            except (TclError, ElaborationError, ParseError, KeyError, ValueError) as exc:
+                sp.set_attribute("failed", True)
+                return ScriptResult(success=False, error=str(exc))
+            qor = self.qor() if self.netlist is not None else None
+            return ScriptResult(
+                success=True, error=None, transcript=transcript, qor=qor
+            )
 
     def qor(self) -> QoRSnapshot:
         """Structured QoR for the current design."""
@@ -190,6 +195,11 @@ class DCShell:
                 positional.append(arg)
                 i += 1
         return options, positional, flags
+
+    def _optimize(self, name: str, fn, *args, **kwargs):
+        """Run one optimizer pass inside a ``synth.optimize`` span."""
+        with obs.span("synth.optimize", opt=name):
+            return fn(*args, **kwargs)
 
     # -- commands ------------------------------------------------------------------------
 
@@ -317,72 +327,119 @@ class DCShell:
             # timing-driven passes harder than the main flow — a wider
             # sizing candidate scan and a deeper retiming budget find the
             # moves the first invocation's greedy search abandoned.
-            size_gates(
-                netlist, self.library, self.wireload, self.constraints,
-                max_rounds=60, scan=40,
-            )
-            retime(netlist, self.library, self.wireload, self.constraints, max_moves=500)
+            with obs.span("synth.compile", incremental=True):
+                self._optimize(
+                    "size_gates", size_gates,
+                    netlist, self.library, self.wireload, self.constraints,
+                    max_rounds=60, scan=40,
+                )
+                self._optimize(
+                    "retime", retime,
+                    netlist, self.library, self.wireload, self.constraints,
+                    max_moves=500,
+                )
+                if self.constraints.max_fanout:
+                    self._optimize(
+                        "buffer_high_fanout", buffer_high_fanout,
+                        netlist, self.library, self.wireload, self.constraints,
+                    )
+                self._optimize(
+                    "size_gates", size_gates,
+                    netlist, self.library, self.wireload, self.constraints,
+                    max_rounds=30, scan=40,
+                )
+                if self.constraints.max_area is not None:
+                    self._optimize(
+                        "recover_area", recover_area,
+                        netlist, self.library, self.wireload, self.constraints,
+                    )
+                self.pass_log.append("compile -incremental")
+                return self._compile_summary()
+        with obs.span("synth.compile", effort=effort):
+            with obs.span("synth.techmap"):
+                map_to_library(netlist, self.library)
+                cleanup(netlist, self.library, flatten=self.flatten)
+            self.pass_log.append(f"compile -map_effort {effort}")
+            if effort == "high":
+                self._optimize(
+                    "resynthesize_adders", resynthesize_adders, netlist, self.library
+                )
+                self._optimize("balance_chains", balance_chains, netlist, self.library)
+                with obs.span("synth.techmap"):
+                    cleanup(netlist, self.library, flatten=self.flatten)
+                    map_to_library(netlist, self.library)
+                self._optimize(
+                    "size_gates", size_gates,
+                    netlist, self.library, self.wireload, self.constraints,
+                    max_rounds=25,
+                )
             if self.constraints.max_fanout:
-                buffer_high_fanout(netlist, self.library, self.wireload, self.constraints)
-            size_gates(
-                netlist, self.library, self.wireload, self.constraints,
-                max_rounds=30, scan=40,
-            )
+                self._optimize(
+                    "buffer_high_fanout", buffer_high_fanout,
+                    netlist, self.library, self.wireload, self.constraints,
+                )
             if self.constraints.max_area is not None:
-                recover_area(netlist, self.library, self.wireload, self.constraints)
-            self.pass_log.append("compile -incremental")
+                with obs.span("synth.techmap", complex_gates=True):
+                    map_complex_gates(netlist, self.library)
+                if effort != "high":
+                    self._optimize(
+                        "recover_area", recover_area,
+                        netlist, self.library, self.wireload, self.constraints,
+                    )
+            self.compiled = True
             return self._compile_summary()
-        map_to_library(netlist, self.library)
-        cleanup(netlist, self.library, flatten=self.flatten)
-        self.pass_log.append(f"compile -map_effort {effort}")
-        if effort == "high":
-            resynthesize_adders(netlist, self.library)
-            balance_chains(netlist, self.library)
-            cleanup(netlist, self.library, flatten=self.flatten)
-            map_to_library(netlist, self.library)
-            size_gates(netlist, self.library, self.wireload, self.constraints, max_rounds=25)
-        if self.constraints.max_fanout:
-            buffer_high_fanout(
-                netlist, self.library, self.wireload, self.constraints
-            )
-        if self.constraints.max_area is not None:
-            map_complex_gates(netlist, self.library)
-            if effort != "high":
-                recover_area(netlist, self.library, self.wireload, self.constraints)
-        self.compiled = True
-        return self._compile_summary()
 
     def _cmd_compile_ultra(self, args: list[str]) -> str:
         netlist = self._require_design("compile_ultra")
         _, _, flags = self._parse_options(args, set())
         if "no_autoungroup" not in flags:
             self.flatten = True
-        map_to_library(netlist, self.library)
-        resynthesize_adders(netlist, self.library)
-        cleanup(netlist, self.library, flatten=self.flatten)
-        balance_chains(netlist, self.library)
-        cleanup(netlist, self.library, flatten=self.flatten)
-        map_to_library(netlist, self.library)
-        self.pass_log.append("compile_ultra" + (" -retime" if "retime" in flags else ""))
-        if "retime" in flags:
-            retime(netlist, self.library, self.wireload, self.constraints)
-        size_gates(netlist, self.library, self.wireload, self.constraints, max_rounds=60)
-        buffer_high_fanout(
-            netlist,
-            self.library,
-            self.wireload,
-            self.constraints,
-            max_fanout=self.constraints.max_fanout or 24,
-        )
-        size_gates(netlist, self.library, self.wireload, self.constraints, max_rounds=30)
-        if self.constraints.max_area is not None:
-            recover_area(netlist, self.library, self.wireload, self.constraints)
-        self.compiled = True
-        return self._compile_summary()
+        with obs.span("synth.compile", ultra=True, retime="retime" in flags):
+            with obs.span("synth.techmap"):
+                map_to_library(netlist, self.library)
+            self._optimize(
+                "resynthesize_adders", resynthesize_adders, netlist, self.library
+            )
+            with obs.span("synth.techmap"):
+                cleanup(netlist, self.library, flatten=self.flatten)
+            self._optimize("balance_chains", balance_chains, netlist, self.library)
+            with obs.span("synth.techmap"):
+                cleanup(netlist, self.library, flatten=self.flatten)
+                map_to_library(netlist, self.library)
+            self.pass_log.append(
+                "compile_ultra" + (" -retime" if "retime" in flags else "")
+            )
+            if "retime" in flags:
+                self._optimize(
+                    "retime", retime,
+                    netlist, self.library, self.wireload, self.constraints,
+                )
+            self._optimize(
+                "size_gates", size_gates,
+                netlist, self.library, self.wireload, self.constraints, max_rounds=60,
+            )
+            self._optimize(
+                "buffer_high_fanout", buffer_high_fanout,
+                netlist, self.library, self.wireload, self.constraints,
+                max_fanout=self.constraints.max_fanout or 24,
+            )
+            self._optimize(
+                "size_gates", size_gates,
+                netlist, self.library, self.wireload, self.constraints, max_rounds=30,
+            )
+            if self.constraints.max_area is not None:
+                self._optimize(
+                    "recover_area", recover_area,
+                    netlist, self.library, self.wireload, self.constraints,
+                )
+            self.compiled = True
+            return self._compile_summary()
 
     def _cmd_optimize_registers(self, args: list[str]) -> str:
         netlist = self._require_design("optimize_registers")
-        result = retime(netlist, self.library, self.wireload, self.constraints)
+        result = self._optimize(
+            "retime", retime, netlist, self.library, self.wireload, self.constraints
+        )
         self.pass_log.append("optimize_registers")
         return (
             f"retiming: {result.changes} moves, "
@@ -393,8 +450,9 @@ class DCShell:
         netlist = self._require_design("balance_buffer")
         options, _, _ = self._parse_options(args, {"max_fanout"})
         limit = int(options.get("max_fanout", self.constraints.max_fanout or 12))
-        result = buffer_high_fanout(
-            netlist, self.library, self.wireload, self.constraints, max_fanout=limit
+        result = self._optimize(
+            "buffer_high_fanout", buffer_high_fanout,
+            netlist, self.library, self.wireload, self.constraints, max_fanout=limit,
         )
         self.pass_log.append("balance_buffer")
         return f"buffering: {result.changes} buffers inserted"

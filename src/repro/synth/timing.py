@@ -35,7 +35,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-from .. import perf
+from .. import obs, perf
 from ..hdl.netlist import Cell, Netlist
 from .library import LibCell, TechLibrary
 from .sdc import Constraints
@@ -269,10 +269,14 @@ class TimingEngine:
         self._sync()
         if self._arrivals is None:
             perf.incr("sta.full")
-            self._full_rebuild()
+            with obs.span("synth.sta", mode="full", cells=len(self.netlist.cells)):
+                self._full_rebuild()
         elif self._pending_resizes:
             perf.incr("sta.incremental")
-            self._incremental_update(self._pending_resizes)
+            with obs.span(
+                "synth.sta", mode="incremental", resized=len(self._pending_resizes)
+            ):
+                self._incremental_update(self._pending_resizes)
             self._pending_resizes = set()
         else:
             perf.incr("sta.cached")

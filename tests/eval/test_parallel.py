@@ -1,9 +1,11 @@
 """Tests for the parallel evaluation executor."""
 
+import contextvars
 import threading
 
 import pytest
 
+from repro import perf
 from repro.parallel import DEFAULT_MAX_JOBS, parallel_map, resolve_jobs
 
 
@@ -72,3 +74,48 @@ class TestParallelMap:
     def test_matches_serial_results(self):
         items = list(range(25))
         assert parallel_map(str, items, jobs=6) == parallel_map(str, items, jobs=1)
+
+
+_AMBIENT = contextvars.ContextVar("test_parallel_ambient", default="unset")
+
+
+class TestContextPropagation:
+    def test_workers_see_callers_contextvars(self):
+        token = _AMBIENT.set("from-caller")
+        try:
+            seen = parallel_map(lambda _: _AMBIENT.get(), range(8), jobs=4)
+        finally:
+            _AMBIENT.reset(token)
+        assert seen == ["from-caller"] * 8
+
+    def test_worker_mutations_stay_isolated(self):
+        token = _AMBIENT.set("caller")
+        try:
+
+            def mutate(i):
+                _AMBIENT.set(f"worker-{i}")
+                return _AMBIENT.get()
+
+            assert parallel_map(mutate, range(6), jobs=3) == [
+                f"worker-{i}" for i in range(6)
+            ]
+            # each task got its own context copy: the caller is untouched
+            assert _AMBIENT.get() == "caller"
+        finally:
+            _AMBIENT.reset(token)
+
+
+class TestQueueWaitTimer:
+    def test_queue_wait_recorded_per_task(self):
+        before = perf.snapshot()["timers"].get("eval.parallel_queue_wait", {})
+        parallel_map(lambda x: x, range(12), jobs=3)
+        after = perf.snapshot()["timers"]["eval.parallel_queue_wait"]
+        assert after["calls"] - before.get("calls", 0) == 12
+        assert after["total_s"] >= before.get("total_s", 0.0)
+        assert {"p50_s", "p95_s", "max_s"} <= set(after)
+
+    def test_serial_path_records_nothing(self):
+        before = perf.snapshot()["timers"].get("eval.parallel_queue_wait", {})
+        parallel_map(lambda x: x, range(12), jobs=1)
+        after = perf.snapshot()["timers"].get("eval.parallel_queue_wait", {})
+        assert after.get("calls", 0) == before.get("calls", 0)

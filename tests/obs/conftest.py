@@ -1,0 +1,13 @@
+"""Observability tests configure the global tracer/logger; always restore
+the disabled defaults so no state leaks into other tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    yield
+    obs.configure(None)
+    obs.configure_logging(None)

@@ -1,0 +1,64 @@
+"""Structured logger tests: JSON lines, level filtering, trace correlation."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+
+
+def records(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestStructuredLogger:
+    def test_json_lines_with_fields(self):
+        stream = io.StringIO()
+        obs.configure_logging("info", stream)
+        obs.info("rag.retrieve", mode="manual", hits=3)
+        (record,) = records(stream)
+        assert record["event"] == "rag.retrieve"
+        assert record["level"] == "info"
+        assert record["mode"] == "manual"
+        assert record["hits"] == 3
+        assert record["ts"] > 0
+
+    def test_level_threshold(self):
+        stream = io.StringIO()
+        obs.configure_logging("warning", stream)
+        obs.debug("quiet")
+        obs.info("quiet")
+        obs.warning("loud")
+        obs.error("loud")
+        assert [r["level"] for r in records(stream)] == ["warning", "error"]
+
+    def test_disabled_writes_nothing(self):
+        stream = io.StringIO()
+        obs.configure_logging(None, stream)
+        obs.error("never")
+        assert stream.getvalue() == ""
+        assert not obs.logging_enabled()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            obs.configure_logging("loudest")
+
+    def test_trace_ids_attached_inside_span(self, tmp_path):
+        stream = io.StringIO()
+        obs.configure_logging("info", stream)
+        obs.configure(str(tmp_path / "t.jsonl"))
+        with obs.span("op") as sp:
+            obs.info("inside")
+        obs.info("outside")
+        inside, outside = records(stream)
+        assert inside["trace"] == sp.trace_id
+        assert inside["span"] == sp.span_id
+        assert "trace" not in outside
+
+    def test_non_serializable_fields_stringified(self):
+        stream = io.StringIO()
+        obs.configure_logging("info", stream)
+        obs.info("odd", value={1, 2})
+        (record,) = records(stream)
+        assert isinstance(record["value"], str)

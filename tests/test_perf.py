@@ -55,6 +55,79 @@ class TestCounters:
         assert reg.counter("shared") == 8000
 
 
+class TestPercentiles:
+    def test_snapshot_reports_p50_p95_max(self):
+        reg = PerfRegistry()
+        for ms in range(1, 101):  # 1ms .. 100ms
+            reg.add_time("t", ms / 1000.0)
+        snap = reg.snapshot()["timers"]["t"]
+        assert snap["calls"] == 100
+        assert snap["total_s"] == round(sum(range(1, 101)) / 1000.0, 6)
+        assert abs(snap["p50_s"] - 0.050) <= 0.002
+        assert abs(snap["p95_s"] - 0.095) <= 0.002
+        assert snap["max_s"] == 0.100
+
+    def test_max_is_exact_beyond_reservoir_capacity(self):
+        reg = PerfRegistry()
+        for _ in range(10 * perf.RESERVOIR_CAPACITY):
+            reg.add_time("t", 0.001)
+        reg.add_time("t", 9.0)  # a single tail spike sampling could drop
+        snap = reg.snapshot()["timers"]["t"]
+        assert snap["max_s"] == 9.0
+        assert snap["calls"] == 10 * perf.RESERVOIR_CAPACITY + 1
+
+    def test_reservoir_bounded(self):
+        reg = PerfRegistry()
+        for _ in range(5000):
+            reg.add_time("t", 0.001)
+        assert len(reg._time_samples["t"].samples) == perf.RESERVOIR_CAPACITY
+        assert reg._time_samples["t"].seen == 5000
+
+    def test_percentiles_deterministic(self):
+        snaps = []
+        for _ in range(2):
+            reg = PerfRegistry()
+            for i in range(2000):
+                reg.add_time("t", (i % 97) / 1000.0)
+            snaps.append(reg.snapshot()["timers"]["t"])
+        assert snaps[0] == snaps[1]
+
+
+class TestStatsProviders:
+    def test_caches_key_absent_without_providers(self):
+        assert "caches" not in PerfRegistry().snapshot()
+
+    def test_provider_output_surfaces_under_caches(self):
+        reg = PerfRegistry()
+        reg.register_stats_provider("fake", lambda: {"hits": 3, "misses": 1})
+        assert reg.snapshot()["caches"] == {"fake": {"hits": 3, "misses": 1}}
+
+    def test_provider_may_call_back_into_registry(self):
+        reg = PerfRegistry()
+
+        def provider():
+            reg.incr("provider.called")  # must not deadlock on the lock
+            return {"ok": True}
+
+        reg.register_stats_provider("reentrant", provider)
+        assert reg.snapshot()["caches"]["reentrant"] == {"ok": True}
+        assert reg.counter("provider.called") == 1
+
+    def test_reregistering_replaces(self):
+        reg = PerfRegistry()
+        reg.register_stats_provider("c", lambda: {"v": 1})
+        reg.register_stats_provider("c", lambda: {"v": 2})
+        assert reg.snapshot()["caches"]["c"] == {"v": 2}
+
+    def test_global_registry_exposes_synthesis_caches(self):
+        import repro.synth.cache  # noqa: F401  (registers its providers)
+
+        caches = perf.snapshot().get("caches", {})
+        assert "synthesis" in caches and "netlist" in caches
+        for stats in (caches["synthesis"], caches["netlist"]):
+            assert {"entries", "hits", "misses"} <= set(stats)
+
+
 class TestModuleRegistry:
     def test_module_aliases_hit_global_registry(self):
         perf.reset()
