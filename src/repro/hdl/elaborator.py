@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 
+from .. import perf
 from .ast_nodes import (
     AlwaysBlock,
     BinaryOp,
@@ -1080,5 +1081,7 @@ def elaborate(
     if isinstance(source, str):
         from .parser import parse_source
 
-        source = parse_source(source)
-    return Elaborator(source, top, params).elaborate()
+        with perf.timer("hdl.parse"):
+            source = parse_source(source)
+    with perf.timer("hdl.elaborate"):
+        return Elaborator(source, top, params).elaborate()

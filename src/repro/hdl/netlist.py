@@ -155,6 +155,7 @@ class Netlist:
         self._journal: list[tuple[str, str | None]] = []
         self._journal_base = 0
         self._topo_cache: list[Cell] | None = None
+        self._max_uid_memo: int | None = None
 
     # -- change journal -------------------------------------------------------
 
@@ -179,6 +180,7 @@ class Netlist:
 
     def _note_structure(self) -> None:
         self._topo_cache = None
+        self._max_uid_memo = None
         self._append_event("structure", None)
 
     def _note_resize(self, cell_name: str) -> None:
@@ -411,6 +413,45 @@ class Netlist:
         h.update(("O|" + ",".join(self.primary_outputs)).encode())
         return h.hexdigest()
 
+    def _max_uid(self) -> int:
+        """Highest uid ever handed out, recovered from nets and names.
+
+        Autogenerated cell/net names (``$g<uid>``/``$n<uid>``) consume the
+        same counter as net uids, so both sources are scanned; clones and
+        unpickled netlists resume the counter past this value so their next
+        ``add_net``/``add_cell`` cannot collide with an existing name.
+
+        Memoized until the next structural edit: pristine frontend-cache
+        entries are cloned once per compile, and the scan would otherwise
+        dominate the hit path.
+        """
+        if self._max_uid_memo is not None:
+            return self._max_uid_memo
+        max_uid = max((net.uid for net in self.nets.values()), default=-1)
+        for name in itertools.chain(self.nets, self.cells):
+            if name.startswith(("$n", "$g")) and name[2:].isdigit():
+                uid = int(name[2:])
+                if uid > max_uid:
+                    max_uid = uid
+        self._max_uid_memo = max_uid
+        return max_uid
+
+    def __getstate__(self) -> dict:
+        # itertools.count is not picklable; __setstate__ re-derives it.  The
+        # journal and topo cache are dropped: an unpickled netlist is a fresh
+        # object no observer holds a cursor into.
+        state = self.__dict__.copy()
+        del state["_uid"]
+        state["_journal"] = []
+        state["_journal_base"] = 0
+        state["_topo_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state.setdefault("_max_uid_memo", None)
+        self.__dict__.update(state)
+        self._uid = itertools.count(self._max_uid() + 1)
+
     def replace_with(self, other: "Netlist") -> None:
         """Adopt ``other``'s contents in place (used to roll back passes)."""
         self.name = other.name
@@ -455,12 +496,7 @@ class Netlist:
             cells[name] = copy
         other.primary_inputs = list(self.primary_inputs)
         other.primary_outputs = list(self.primary_outputs)
-        # Autogenerated cell/net names ($g<uid>/$n<uid>) consume the same
-        # counter as net uids, so resume past every uid ever handed out or
-        # a clone's next add_cell could collide with an existing name.
-        max_uid = max((net.uid for net in self.nets.values()), default=-1)
-        for name in itertools.chain(self.nets, self.cells):
-            if name.startswith(("$n", "$g")) and name[2:].isdigit():
-                max_uid = max(max_uid, int(name[2:]))
+        max_uid = self._max_uid()
+        other._max_uid_memo = max_uid
         other._uid = itertools.count(max_uid + 1)
         return other

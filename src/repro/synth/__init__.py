@@ -8,10 +8,13 @@ analysis and QoR reporting, all driven by DC-format Tcl scripts through
 """
 
 from .cache import (
+    FrontendCache,
     SynthesisCache,
     clear_caches,
     default_cache,
     elaborate_cached,
+    frontend_cache,
+    frontend_cache_mode,
     synthesize_cached,
 )
 from .dcshell import DCShell, DCShellError, ScriptResult
@@ -28,6 +31,7 @@ from .optimizer import (
 from .power import PowerAnalyzer, PowerReport
 from .reports import QoRSnapshot, render_qor_report, render_timing_report
 from .sdc import Constraints
+from .soa import vector_sta_enabled
 from .tcl import TclError, TclInterpreter
 from .techmap import cleanup, map_to_library
 from .timing import TimingEngine, TimingPath, TimingReport
@@ -36,11 +40,15 @@ from .wireload import WIRELOAD_MODELS, WireLoadModel, get_wireload
 __all__ = [
     "PowerAnalyzer",
     "PowerReport",
+    "FrontendCache",
     "SynthesisCache",
     "clear_caches",
     "default_cache",
     "elaborate_cached",
+    "frontend_cache",
+    "frontend_cache_mode",
     "synthesize_cached",
+    "vector_sta_enabled",
     "DCShell",
     "DCShellError",
     "ScriptResult",

@@ -110,9 +110,12 @@ def size_gates(
             if bigger is None:
                 continue
             cell.lib_cell = bigger.name
-            trial = engine.analyze()
+            # Trials only need the slack verdict; trace the critical path
+            # (needed to pick next round's candidates) only on acceptance,
+            # where the second analyze() is served from the cached state.
+            trial = engine.analyze(with_paths=False)
             if trial.cps > report.cps + 1e-12:
-                improved_report = trial
+                improved_report = engine.analyze()
                 changes += 1
                 break
             cell.lib_cell = current.name

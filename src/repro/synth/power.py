@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import perf
 from ..hdl.netlist import Cell, Netlist
+from . import soa
 from .library import TechLibrary
 from .sdc import Constraints
 from .timing import TimingEngine
@@ -134,6 +136,7 @@ class PowerAnalyzer:
         self.voltage = voltage
         self.internal_energy_fj = internal_energy_fj
         self._engine = TimingEngine(netlist, library, wireload, constraints)
+        self._use_vector = soa.vector_sta_enabled()
 
     def analyze(
         self,
@@ -146,6 +149,8 @@ class PowerAnalyzer:
             input_probability: P(=1) assumed at primary inputs.
             input_activity: transitions per cycle at primary inputs.
         """
+        if self._use_vector:
+            return self._analyze_vector(input_probability, input_activity)
         prob: dict[str, float] = {}
         act: dict[str, float] = {}
         for name in self.netlist.primary_inputs:
@@ -157,13 +162,25 @@ class PowerAnalyzer:
                 prob[name] = input_probability
                 act[name] = input_activity
         # Registers first: their outputs are sources for the comb cone.
-        # Iterate twice so reg->comb->reg probability reaches fixpoint-ish.
-        for _ in range(2):
+        # Iterate twice so reg->comb->reg probability reaches fixpoint-ish;
+        # when the second register sweep changes nothing, the combinational
+        # values are already a pure function of unchanged sources, so the
+        # second comb sweep would reproduce every value — skip it.
+        for iteration in range(2):
+            changed = False
             for cell in self.netlist.cells.values():
                 if cell.is_sequential:
                     d = cell.inputs[0]
-                    prob[cell.output] = prob.get(d, input_probability)
-                    act[cell.output] = min(act.get(d, input_activity), 1.0)
+                    p_new = prob.get(d, input_probability)
+                    a_new = min(act.get(d, input_activity), 1.0)
+                    q = cell.output
+                    if prob.get(q) != p_new or act.get(q) != a_new:
+                        changed = True
+                        prob[q] = p_new
+                        act[q] = a_new
+            if iteration and not changed:
+                perf.incr("power.fixpoint_early_exit")
+                break
             for cell in self.netlist.topological_cells():
                 p_in = [prob.get(n, input_probability) for n in cell.inputs]
                 a_in = [act.get(n, input_activity) for n in cell.inputs]
@@ -201,4 +218,32 @@ class PowerAnalyzer:
             leakage_uw=round(leakage, 3),
             clock_tree_uw=round(clock_tree, 3),
             net_activities=act,
+        )
+
+    def _analyze_vector(
+        self, input_probability: float, input_activity: float
+    ) -> PowerReport:
+        """SoA fast path: activity propagation and integration on arrays.
+
+        Activities are bit-identical to the scalar sweep (same expressions,
+        same register-sweep order); whole-design sums may differ at float
+        rounding level under numpy's pairwise summation, which the report's
+        3-decimal rounding absorbs.
+        """
+        kernel = soa.SoAKernel(
+            self.netlist, self.library, self.wireload, self.constraints
+        )
+        dynamic, internal, leakage, clock_tree, activities = soa.vector_power(
+            kernel,
+            input_probability,
+            input_activity,
+            self.voltage,
+            self.internal_energy_fj,
+        )
+        return PowerReport(
+            dynamic_uw=round(dynamic, 3),
+            internal_uw=round(internal, 3),
+            leakage_uw=round(leakage, 3),
+            clock_tree_uw=round(clock_tree, 3),
+            net_activities=activities,
         )

@@ -28,6 +28,17 @@ journal fall back to a full rebuild.  The contract is exact parity:
 :meth:`TimingEngine.full_analyze`, because untouched values are reused
 verbatim and touched values are recomputed with the same expressions in
 the same order.
+
+Vectorized mode
+---------------
+
+With ``REPRO_VECTOR_STA`` unset or ``1`` (the default) the engine runs
+arrival propagation and slack reduction through the structure-of-arrays
+kernels in :mod:`repro.synth.soa` — the same contract, array-speed.  Full
+rebuilds lower the netlist once (cached per netlist across engines) and
+propagate level-by-level; journal resizes rebind one library row and
+re-run only the dirtied levels.  ``REPRO_VECTOR_STA=0`` restores the
+scalar engine below.
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ from dataclasses import dataclass, field
 
 from .. import obs, perf
 from ..hdl.netlist import Cell, Netlist
+from . import soa
 from .library import LibCell, TechLibrary
 from .sdc import Constraints
 from .wireload import WireLoadModel
@@ -123,6 +135,10 @@ class TimingEngine:
         self._cursor: int | None = None
         self._pending_resizes: set[str] = set()
         self._env_sig: tuple | None = None
+        # vectorized (structure-of-arrays) analysis state; the mode is
+        # latched at construction so one engine never mixes kernels
+        self._use_vector = soa.vector_sta_enabled()
+        self._kernel: soa.SoAKernel | None = None
 
     # -- electrical model ---------------------------------------------------------
 
@@ -212,6 +228,7 @@ class TimingEngine:
         self._ep_net = {}
         self._topo_index = {}
         self._pending_resizes.clear()
+        self._kernel = None
 
     def _sync(self) -> None:
         """Fold journal events (and environment changes) into the caches."""
@@ -267,6 +284,31 @@ class TimingEngine:
         the previous call; otherwise rebuilds from scratch.
         """
         self._sync()
+        if self._use_vector:
+            if self._kernel is None:
+                perf.incr("sta.full")
+                with obs.span(
+                    "synth.sta",
+                    mode="full",
+                    engine="vector",
+                    cells=len(self.netlist.cells),
+                ):
+                    self._vector_rebuild()
+            elif self._pending_resizes:
+                resized = self._pending_resizes
+                self._pending_resizes = set()
+                perf.incr("sta.incremental")
+                with obs.span(
+                    "synth.sta",
+                    mode="incremental",
+                    engine="vector",
+                    resized=len(resized),
+                ):
+                    self._kernel.update_resizes(resized)
+                    self._materialize_endpoints()
+            else:
+                perf.incr("sta.cached")
+            return self._build_report(with_paths)
         if self._arrivals is None:
             perf.incr("sta.full")
             with obs.span("synth.sta", mode="full", cells=len(self.netlist.cells)):
@@ -291,7 +333,10 @@ class TimingEngine:
         self._sync()
         self._invalidate()
         perf.incr("sta.full")
-        self._full_rebuild()
+        if self._use_vector:
+            self._vector_rebuild()
+        else:
+            self._full_rebuild()
         return self._build_report(with_paths)
 
     # -- full propagation --------------------------------------------------------
@@ -359,6 +404,98 @@ class TimingEngine:
         self._ep_required = endpoint_required
         self._ep_net = endpoint_net
         self._pending_resizes = set()
+
+    # -- vectorized propagation ----------------------------------------------------
+
+    def _vector_rebuild(self) -> None:
+        """Lower to SoA arrays (cached per netlist) and run the full kernel."""
+        kernel = soa.SoAKernel(
+            self.netlist, self.library, self.wireload, self.constraints
+        )
+        kernel.run_full()
+        self._kernel = kernel
+        self._materialize_endpoints()
+        self._pending_resizes = set()
+
+    def _materialize_endpoints(self) -> None:
+        """Convert kernel endpoint arrays into the scalar report dicts.
+
+        Keys are inserted in exactly the scalar rebuild's order (primary
+        outputs, then sequential cells in definition order) so the shared
+        report reductions — ``min`` tie-breaks, the sequential ``tns``
+        sum — are bit-identical across modes.
+        """
+        kernel = self._kernel
+        s = kernel.s
+        (po_names, po_req, po_slack,
+         reg_names, reg_req, reg_slack) = kernel.endpoint_arrays()
+        ep_slack: dict[str, float] = {}
+        ep_required: dict[str, float] = {}
+        ep_net: dict[str, str] = {}
+        for name, req, slack in zip(po_names, po_req.tolist(), po_slack.tolist()):
+            key = f"out:{name}"
+            ep_slack[key] = slack
+            ep_required[key] = req
+            ep_net[key] = name
+        reg_d = [s.net_names[ni] for ni in s.seq_d.tolist()]
+        for name, req, slack, data_net in zip(
+            reg_names, reg_req.tolist(), reg_slack.tolist(), reg_d
+        ):
+            key = f"reg:{name}"
+            ep_slack[key] = slack
+            ep_required[key] = req
+            ep_net[key] = data_net
+        self._ep_slack = ep_slack
+        self._ep_required = ep_required
+        self._ep_net = ep_net
+
+    def _vector_pred(self, net_name: str) -> tuple[str, str] | None:
+        """Lazy predecessor lookup over kernel arrivals for path tracing.
+
+        Replicates the scalar propagation's first-strictly-greater
+        worst-input choice, so traced paths match the scalar engine's.
+        """
+        net = self.netlist.nets.get(net_name)
+        if net is None or net.driver is None:
+            return None
+        cell = self.netlist.cells[net.driver]
+        if cell.is_sequential or cell.gate in _CONSTS:
+            return None
+        kernel = self._kernel
+        worst_in = None
+        worst_arrival = 0.0
+        for net_in in cell.inputs:
+            arr = kernel.arrival_of(net_in)
+            if worst_in is None or arr > worst_arrival:
+                worst_in, worst_arrival = net_in, arr
+        return (cell.name, worst_in) if worst_in else None
+
+    def _vector_trace_path(
+        self, end_net: str, endpoint: str, required: float
+    ) -> TimingPath:
+        kernel = self._kernel
+        points: list[PathPoint] = []
+        net = end_net
+        while True:
+            pred = self._vector_pred(net)
+            arrival = kernel.arrival_of(net)
+            if pred is None:
+                points.append(
+                    PathPoint(cell="<launch>", net=net, incr=arrival, arrival=arrival)
+                )
+                break
+            cell_name, prev_net = pred
+            incr = arrival - kernel.arrival_of(prev_net)
+            points.append(PathPoint(cell=cell_name, net=net, incr=incr, arrival=arrival))
+            net = prev_net
+        points.reverse()
+        return TimingPath(
+            startpoint=points[0].net,
+            endpoint=endpoint,
+            points=points,
+            arrival=kernel.arrival_of(end_net),
+            required=required,
+        )
 
     # -- incremental propagation ---------------------------------------------------
 
@@ -493,13 +630,20 @@ class TimingEngine:
 
         critical = None
         if with_paths:
-            critical = self._trace_path(
-                self._ep_net[worst_key],
-                worst_key,
-                self._arrivals,
-                self._pred,
-                self._ep_required[worst_key],
-            )
+            if self._use_vector and self._kernel is not None:
+                critical = self._vector_trace_path(
+                    self._ep_net[worst_key],
+                    worst_key,
+                    self._ep_required[worst_key],
+                )
+            else:
+                critical = self._trace_path(
+                    self._ep_net[worst_key],
+                    worst_key,
+                    self._arrivals,
+                    self._pred,
+                    self._ep_required[worst_key],
+                )
         return TimingReport(
             wns=round(wns, 4),
             cps=round(cps, 4),

@@ -21,13 +21,29 @@ __all__ = ["IVFIndex"]
 def _kmeans(
     data: np.ndarray, k: int, rng: np.random.Generator, iters: int = 25
 ) -> np.ndarray:
-    """Plain Lloyd's k-means; returns the centroid matrix."""
+    """Plain Lloyd's k-means; returns the centroid matrix.
+
+    Empty clusters are reseeded from the points farthest from their
+    assigned centroids (a point per empty cell, farthest first), so every
+    one of the ``k`` cells stays usable instead of orbiting a stale
+    centroid no point maps to.
+    """
     k = min(k, len(data))
     centroids = data[rng.choice(len(data), size=k, replace=False)].copy()
     for _ in range(iters):
         dists = -pairwise_scores(data, centroids, "l2")
         assign = np.argmin(dists, axis=1)
-        moved = False
+        empty = [c for c in range(k) if not np.any(assign == c)]
+        if empty:
+            # Farthest-point reseed: steal the worst-served points.  Each
+            # stolen point seeds one empty cell and is excluded from the
+            # pool so two empty cells never collapse onto the same seed.
+            point_dist = dists[np.arange(len(data)), assign]
+            farthest = np.argsort(-point_dist)
+            for c, idx in zip(empty, farthest):
+                centroids[c] = data[idx]
+                assign[idx] = c
+        moved = bool(empty)
         for c in range(k):
             members = data[assign == c]
             if len(members) == 0:

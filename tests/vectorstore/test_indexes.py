@@ -179,3 +179,57 @@ class TestIVFIndex:
             ivf.add(i, row)
         result = ivf.search(clustered_data[0] * 3.0, k=1)  # scale-invariant
         assert result[0].score == pytest.approx(1.0, abs=1e-6)
+
+
+class TestKMeansReseed:
+    """Regression: empty k-means clusters must be reseeded, not left stale.
+
+    With ``nlist`` larger than the number of natural clusters, Lloyd's
+    iteration used to strand centroids no point maps to; those cells then
+    wasted probes forever.  The farthest-point reseed guarantees every
+    cell ends up serving at least one vector.
+    """
+
+    @staticmethod
+    def _duplicate_heavy_data(dim=4):
+        """10 identical vectors at the origin + 3 distinct far points.
+
+        Initial centroid sampling almost always draws two or more of the
+        duplicates; identical centroids tie on every point, the lowest
+        index wins them all, and the rest start (and, pre-fix, stay)
+        empty while the far points go unrepresented.
+        """
+        data = np.zeros((13, dim))
+        data[10, 0], data[11, 0], data[12, 0] = 100.0, 200.0, 300.0
+        return data
+
+    def test_kmeans_leaves_no_empty_cluster(self):
+        from repro.vectorstore.ivf import _kmeans
+        from repro.vectorstore.metrics import pairwise_scores
+
+        data = self._duplicate_heavy_data()
+        for seed in range(10):
+            centroids = _kmeans(data, 4, np.random.default_rng(seed))
+            assert centroids.shape == (4, data.shape[1])
+            assert np.isfinite(centroids).all()
+            assign = np.argmin(-pairwise_scores(data, centroids, "l2"), axis=1)
+            assert set(assign.tolist()) == set(range(4)), seed
+
+    def test_oversized_nlist_keeps_every_cell_usable(self):
+        data = self._duplicate_heavy_data()
+        ivf = IVFIndex(dim=4, nlist=4, nprobe=4, metric="l2", seed=2)
+        for i, row in enumerate(data):
+            ivf.add(i, row)
+        ivf.train()
+        assert sum(1 for cell in ivf._cells if cell) == 4
+
+    def test_reseeded_cells_serve_far_points(self):
+        """The far points must be findable with nprobe=1: each now lives
+        in its own reseeded cell instead of hiding behind a stale one."""
+        data = self._duplicate_heavy_data()
+        ivf = IVFIndex(dim=4, nlist=4, nprobe=1, metric="l2", seed=0)
+        for i, row in enumerate(data):
+            ivf.add(i, row)
+        for q in (10, 11, 12):
+            results = ivf.search(data[q], k=1)
+            assert results and results[0].key == q
