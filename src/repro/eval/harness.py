@@ -375,11 +375,11 @@ def run_fig4_metric_learning(
             labels.append(label_of[design.family])
 
         encoder = CircuitEncoder(seed=seed)
-        embeddings0 = np.vstack([encoder.model.embed_graph(g) for g in graphs])
+        embeddings0 = encoder.model.embed_graphs(graphs)
         before = clustering_quality(_normalize_rows(embeddings0), np.array(labels))
         trainer = MetricTrainer(encoder, loss=loss, seed=seed)
         stats = trainer.train(graphs, labels, epochs=epochs)
-        embeddings1 = np.vstack([encoder.model.embed_graph(g) for g in graphs])
+        embeddings1 = encoder.model.embed_graphs(graphs)
         after = clustering_quality(_normalize_rows(embeddings1), np.array(labels))
         return Fig4Result(before=before, after=after, losses=stats.losses)
 

@@ -6,9 +6,31 @@ pooling for graph embeddings, and hand-derived backward passes so metric
 learning (paper §IV-A) can train end to end without autograd.
 """
 
+from .batch import (
+    GraphBatch,
+    accumulation_order,
+    batch_gnn_enabled,
+    embedding_cache,
+    pack_graphs,
+    release_state,
+)
 from .graph import GraphData, mean_adjacency
-from .layers import SAGELayer
+from .layers import LayerCache, SAGELayer
 from .model import GraphSAGE
 from .optim import SGD, Adam
 
-__all__ = ["GraphData", "mean_adjacency", "SAGELayer", "GraphSAGE", "SGD", "Adam"]
+__all__ = [
+    "GraphData",
+    "mean_adjacency",
+    "SAGELayer",
+    "LayerCache",
+    "GraphSAGE",
+    "GraphBatch",
+    "accumulation_order",
+    "pack_graphs",
+    "release_state",
+    "batch_gnn_enabled",
+    "embedding_cache",
+    "SGD",
+    "Adam",
+]

@@ -10,13 +10,24 @@ in the common "self + neighbour" parameterization:
 
 where ``A_mean`` is a row-normalized adjacency (mean aggregator).  Backward
 passes are hand-derived so no autograd framework is needed.
+
+Layers come in two flavours of statefulness:
+
+* the classic ``forward``/``backward`` pair keeps one activation cache on
+  the layer (consumed by ``backward``) — the single-graph path;
+* the re-entrant ``forward_reentrant``/``backward_reentrant`` pair moves
+  the cache into an explicit :class:`LayerCache` owned by the caller, so
+  the batched engine (:mod:`repro.gnn.batch`) can hold many in-flight
+  activations at once without the layers trampling each other.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-__all__ = ["SAGELayer", "relu", "relu_grad", "tanh", "tanh_grad"]
+__all__ = ["SAGELayer", "LayerCache", "relu", "relu_grad", "tanh", "tanh_grad"]
 
 
 def relu(x: np.ndarray) -> np.ndarray:
@@ -42,12 +53,30 @@ _ACTIVATIONS = {
 }
 
 
+@dataclass
+class LayerCache:
+    """Activations one layer needs to run its backward pass.
+
+    ``h_in`` and ``agg`` are the layer inputs (node features and their
+    mean-aggregated neighbourhoods), ``pre`` the pre-activation output.
+    For batched calls these hold whole-batch arrays; ``backward_reentrant``
+    accepts row slices of them.
+    """
+
+    h_in: np.ndarray
+    agg: np.ndarray
+    pre: np.ndarray
+
+
 class SAGELayer:
     """One GraphSAGE convolution with mean aggregation.
 
     Parameters are Glorot-initialized.  ``forward`` caches activations for
-    the subsequent ``backward`` call; layers are therefore not re-entrant
-    across interleaved graphs (the model processes one graph at a time).
+    the subsequent ``backward`` call, which consumes them: a second
+    ``backward`` (or one without a preceding ``forward``) raises
+    ``RuntimeError`` instead of silently reusing stale activations.
+    Batched execution uses the re-entrant API and never touches the
+    layer-owned cache.
     """
 
     def __init__(
@@ -66,10 +95,8 @@ class SAGELayer:
         self.bias = np.zeros(out_dim)
         self.activation = activation
         self._act, self._act_grad = _ACTIVATIONS[activation]
-        # caches
-        self._h_in: np.ndarray | None = None
-        self._agg: np.ndarray | None = None
-        self._pre: np.ndarray | None = None
+        # single-graph caches (consumed by backward)
+        self._cache: LayerCache | None = None
         self._adj: np.ndarray | None = None
         # gradients
         self.grad_w_self = np.zeros_like(self.w_self)
@@ -89,23 +116,51 @@ class SAGELayer:
         self.grad_w_neigh[:] = 0.0
         self.grad_bias[:] = 0.0
 
+    # -- re-entrant API (explicit caches, used by the batched engine) -------
+
+    def forward_reentrant(
+        self, h: np.ndarray, agg: np.ndarray
+    ) -> tuple[np.ndarray, LayerCache]:
+        """Forward from precomputed aggregation; caller owns the cache."""
+        pre = h @ self.w_self + agg @ self.w_neigh + self.bias
+        return self._act(pre), LayerCache(h_in=h, agg=agg, pre=pre)
+
+    def backward_reentrant(
+        self, grad_out: np.ndarray, cache: LayerCache
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Accumulate parameter grads from an explicit cache.
+
+        Returns ``(grad_h, grad_agg)``: the gradient w.r.t. the direct
+        input rows and w.r.t. the aggregated rows.  The caller applies its
+        own adjacency transpose (``grad_h + adj.T @ grad_agg``), since in
+        batched mode the adjacency is per-graph-block.
+        """
+        grad_pre = grad_out * self._act_grad(cache.pre)
+        self.grad_w_self += cache.h_in.T @ grad_pre
+        self.grad_w_neigh += cache.agg.T @ grad_pre
+        self.grad_bias += grad_pre.sum(axis=0)
+        return grad_pre @ self.w_self.T, grad_pre @ self.w_neigh.T
+
+    # -- single-graph API ---------------------------------------------------
+
     def forward(self, h: np.ndarray, adj_mean: np.ndarray) -> np.ndarray:
         """Propagate node features ``h`` through the layer."""
-        self._h_in = h
+        out, cache = self.forward_reentrant(h, adj_mean @ h)
+        self._cache = cache
         self._adj = adj_mean
-        self._agg = adj_mean @ h
-        self._pre = h @ self.w_self + self._agg @ self.w_neigh + self.bias
-        return self._act(self._pre)
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        """Accumulate parameter grads; return gradient w.r.t. the input."""
-        if self._pre is None:
-            raise RuntimeError("backward called before forward")
-        grad_pre = grad_out * self._act_grad(self._pre)
-        self.grad_w_self += self._h_in.T @ grad_pre
-        self.grad_w_neigh += self._agg.T @ grad_pre
-        self.grad_bias += grad_pre.sum(axis=0)
-        grad_h = grad_pre @ self.w_self.T
-        grad_agg = grad_pre @ self.w_neigh.T
-        grad_h += self._adj.T @ grad_agg
+        """Consume the cached activations; return gradient w.r.t. the input."""
+        if self._cache is None:
+            raise RuntimeError(
+                "SAGELayer.backward called without a matching forward "
+                "(no activation cache, or it was already consumed by a "
+                "previous backward)"
+            )
+        cache, adj = self._cache, self._adj
+        self._cache = None
+        self._adj = None
+        grad_h, grad_agg = self.backward_reentrant(grad_out, cache)
+        grad_h = grad_h + adj.T @ grad_agg
         return grad_h

@@ -5,12 +5,19 @@ a subgraph: module embeddings come from :meth:`GraphSAGE.embed_graph`, and
 the design-level embedding is the mean of its module embeddings
 (z_global = 1/N * sum h_i), which also covers the flattened/single-module
 degenerate case.
+
+Multi-graph embedding goes through the batched engine
+(:mod:`repro.gnn.batch`) by default — one disjoint-union forward instead
+of a Python loop — with a per-graph, model-version-keyed embedding cache
+in front.  ``REPRO_BATCH_GNN=0`` restores the per-graph fallback; both
+paths are bit-exact.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .batch import batched_backward, batched_forward, embed_graphs_cached
 from .graph import GraphData, mean_adjacency
 from .layers import SAGELayer
 
@@ -50,10 +57,25 @@ class GraphSAGE:
             for i in range(len(hidden_dims))
         ]
         self._num_nodes: int | None = None
+        self._version = 0
 
     @property
     def embedding_dim(self) -> int:
         return self.layers[-1].w_self.shape[1]
+
+    @property
+    def version(self) -> int:
+        """Weight-state version; keys the embedding cache."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Mark the weights as changed (invalidates cached embeddings).
+
+        Called automatically by :meth:`load_state_dict` and by optimizers
+        constructed with an ``on_step`` hook (as :class:`MetricTrainer`
+        does).  Call it manually after mutating ``parameters`` in place.
+        """
+        self._version += 1
 
     @property
     def parameters(self) -> list[np.ndarray]:
@@ -86,7 +108,7 @@ class GraphSAGE:
         """Backprop a gradient w.r.t. the pooled graph embedding.
 
         Must follow the ``embed_graph`` call for the same graph (layer
-        caches hold that graph's activations).
+        caches hold that graph's activations and are consumed here).
         """
         if self._num_nodes is None:
             raise RuntimeError("backward_graph called before embed_graph")
@@ -94,11 +116,38 @@ class GraphSAGE:
         for layer in reversed(self.layers):
             grad_nodes = layer.backward(grad_nodes)
 
+    # -- batched API -------------------------------------------------------------
+
+    def forward_batch(self, batch):
+        """Embed a :class:`~repro.gnn.batch.GraphBatch`.
+
+        Returns ``(embeddings, state)``; hand ``state`` to
+        :meth:`backward_batch`.  Re-entrant: does not disturb the
+        single-graph layer caches.
+        """
+        return batched_forward(self, batch, keep_state=True)
+
+    def backward_batch(self, state, grad_embeddings: np.ndarray, order=None) -> None:
+        """Backprop per-graph embedding gradients through ``state``.
+
+        ``order`` optionally fixes the parameter-gradient accumulation
+        order (a permutation or subset of caller graph indices); see
+        :func:`~repro.gnn.batch.batched_backward`.
+        """
+        batched_backward(self, state, grad_embeddings, order=order)
+
     # -- convenience ----------------------------------------------------------------
 
     def embed_graphs(self, graphs: list[GraphData]) -> np.ndarray:
-        """Stack graph embeddings, shape (len(graphs), embedding_dim)."""
-        return np.vstack([self.embed_graph(g) for g in graphs])
+        """Stack graph embeddings, shape (len(graphs), embedding_dim).
+
+        Runs the batched engine (unless ``REPRO_BATCH_GNN=0``) behind the
+        versioned embedding cache; results are bit-exact with a loop of
+        :meth:`embed_graph` calls either way.
+        """
+        if type(graphs) is not list:
+            graphs = list(graphs)
+        return embed_graphs_cached(self, graphs)
 
     def state_dict(self) -> list[np.ndarray]:
         return [p.copy() for p in self.parameters]
@@ -106,3 +155,4 @@ class GraphSAGE:
     def load_state_dict(self, state: list[np.ndarray]) -> None:
         for param, saved in zip(self.parameters, state):
             param[:] = saved
+        self.bump_version()

@@ -4,6 +4,11 @@ Modules are embedded individually by GraphSAGE over their dataflow
 graphs; the design embedding is the mean over module embeddings
 (z_global = 1/N sum h_i), which degenerates gracefully to the single
 module's embedding for flattened designs — exactly the paper's fallback.
+
+``embed_modules``/``embed_design`` route every module graph through
+``GraphSAGE.embed_graphs`` — one batched forward over the whole design
+(plus the version-keyed embedding cache) instead of a per-module Python
+loop.  Results are bit-exact with the per-graph path.
 """
 
 from __future__ import annotations
@@ -39,12 +44,13 @@ class CircuitEncoder:
     def embed_module(self, circuit: CircuitGraph, module_name: str) -> np.ndarray:
         """L2-normalized embedding of one module's dataflow graph."""
         graph = circuit.module_graphs[module_name]
-        return _normalize(self.model.embed_graph(graph))
+        return _normalize(self.model.embed_graphs([graph])[0])
 
     def embed_modules(self, circuit: CircuitGraph) -> dict[str, np.ndarray]:
-        return {
-            name: self.embed_module(circuit, name) for name in circuit.module_graphs
-        }
+        """All module embeddings in one batched forward pass."""
+        names = list(circuit.module_graphs)
+        raw = self.model.embed_graphs([circuit.module_graphs[n] for n in names])
+        return {name: _normalize(raw[row]) for row, name in enumerate(names)}
 
     def embed_design(self, circuit: CircuitGraph) -> np.ndarray:
         """Global design embedding: mean of module embeddings (paper Eq.).

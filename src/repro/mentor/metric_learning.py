@@ -5,6 +5,14 @@ separate, using the losses the paper cites: contrastive loss [31] and
 multi-similarity loss with general pair weighting [32], plus N-pair.
 All losses return ``(value, gradient w.r.t. each embedding)`` so the
 numpy GNN can backprop without autograd.
+
+The batch losses and :func:`clustering_quality` are full-matrix numpy —
+one pairwise-similarity matmul plus masked reductions, no inner Python
+loops.  :class:`MetricTrainer` epochs run through the batched GNN engine
+(one disjoint-union forward/backward per step instead of per-graph
+re-forwards) when ``REPRO_BATCH_GNN`` is on; the scalar per-graph path is
+retained and produces bit-identical training trajectories (see
+``tests/mentor/test_metric_learning.py``).
 """
 
 from __future__ import annotations
@@ -13,7 +21,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..gnn import Adam, GraphData
+from ..gnn import (
+    Adam,
+    GraphData,
+    accumulation_order,
+    batch_gnn_enabled,
+    pack_graphs,
+    release_state,
+)
 from .embeddings import CircuitEncoder
 
 __all__ = [
@@ -54,7 +69,41 @@ def multi_similarity_loss(
     """Multi-similarity loss (Wang et al., CVPR'19) over a batch.
 
     Operates on cosine similarities of (assumed normalized) embeddings;
-    returns the batch loss and d(loss)/d(embeddings).
+    returns the batch loss and d(loss)/d(embeddings).  Fully vectorized:
+    one similarity matmul, masked positive/negative reductions.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    n = len(embeddings)
+    sims = embeddings @ embeddings.T
+    same = labels[:, None] == labels[None, :]
+    off_diag = ~np.eye(n, dtype=bool)
+    pos_mask = same & off_diag
+    neg_mask = ~same
+    exp_pos = np.zeros_like(sims)
+    exp_neg = np.zeros_like(sims)
+    np.exp(-alpha * (sims - base), out=exp_pos, where=pos_mask)
+    np.exp(beta * (sims - base), out=exp_neg, where=neg_mask)
+    pos_sum = exp_pos.sum(axis=1)
+    neg_sum = exp_neg.sum(axis=1)
+    # log1p(0) == 0, so rows without positives/negatives contribute nothing.
+    loss = float(np.sum(np.log1p(pos_sum)) / alpha + np.sum(np.log1p(neg_sum)) / beta)
+    grad_sims = exp_neg / (1.0 + neg_sum)[:, None] - exp_pos / (1.0 + pos_sum)[:, None]
+    grad = (grad_sims + grad_sims.T) @ embeddings
+    return loss, grad
+
+
+def _multi_similarity_loss_loop(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    alpha: float = 2.0,
+    beta: float = 10.0,
+    base: float = 0.5,
+) -> tuple[float, np.ndarray]:
+    """Reference O(n^2)-Python implementation of the multi-similarity loss.
+
+    Kept for the vectorization benchmark and as an oracle in tests; not
+    used on any production path.
     """
     n = len(embeddings)
     sims = embeddings @ embeddings.T
@@ -100,16 +149,23 @@ def n_pair_loss(
 
 
 def clustering_quality(embeddings: np.ndarray, labels: np.ndarray) -> dict:
-    """Intra/inter-class distance statistics (Fig. 4's before/after view)."""
+    """Intra/inter-class distance statistics (Fig. 4's before/after view).
+
+    Vectorized: the full pairwise distance matrix in one broadcast, then
+    masked means over the upper triangle.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
     labels = np.asarray(labels)
-    intra, inter = [], []
     n = len(embeddings)
-    for i in range(n):
-        for j in range(i + 1, n):
-            dist = float(np.linalg.norm(embeddings[i] - embeddings[j]))
-            (intra if labels[i] == labels[j] else inter).append(dist)
-    intra_mean = float(np.mean(intra)) if intra else 0.0
-    inter_mean = float(np.mean(inter)) if inter else 0.0
+    diff = embeddings[:, None, :] - embeddings[None, :, :]
+    dists = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    upper_i, upper_j = np.triu_indices(n, k=1)
+    pair_dists = dists[upper_i, upper_j]
+    pair_same = labels[upper_i] == labels[upper_j]
+    intra = pair_dists[pair_same]
+    inter = pair_dists[~pair_same]
+    intra_mean = float(intra.mean()) if intra.size else 0.0
+    inter_mean = float(inter.mean()) if inter.size else 0.0
     ratio = intra_mean / inter_mean if inter_mean > 0 else float("inf")
     return {
         "intra_mean": intra_mean,
@@ -129,8 +185,24 @@ class TrainStats:
         return self.losses[-1] if self.losses else 0.0
 
 
+def _normalization_grad(
+    grad_norm: np.ndarray, normalized: np.ndarray, norms: np.ndarray
+) -> np.ndarray:
+    """Backprop d(loss)/d(normalized) through row L2-normalization."""
+    dots = np.sum(grad_norm * normalized, axis=1, keepdims=True)
+    return grad_norm / norms - normalized * dots / norms
+
+
 class MetricTrainer:
-    """Trains a :class:`CircuitEncoder` with metric-learning losses."""
+    """Trains a :class:`CircuitEncoder` with metric-learning losses.
+
+    Epochs run through the batched GNN engine by default (one
+    disjoint-union forward + backward per optimizer step); with
+    ``REPRO_BATCH_GNN=0`` the original per-graph loop runs instead.  Both
+    modes consume the RNG identically and accumulate gradients in the
+    same graph order, so training is deterministic across modes: same
+    seed, same graphs → bit-identical losses and final weights.
+    """
 
     def __init__(
         self,
@@ -147,7 +219,11 @@ class MetricTrainer:
         self.margin = margin
         self.rng = np.random.default_rng(seed)
         model = encoder.model
-        self.optimizer = Adam(model.parameters, model.gradients, lr=lr)
+        # on_step keeps the versioned embedding cache honest: every
+        # parameter update invalidates previously cached embeddings.
+        self.optimizer = Adam(
+            model.parameters, model.gradients, lr=lr, on_step=model.bump_version
+        )
 
     def train(
         self,
@@ -167,48 +243,90 @@ class MetricTrainer:
             losses.append(epoch_loss)
         return TrainStats(epochs=epochs, losses=losses)
 
-    def _embed_with_cache(self, graph: GraphData) -> np.ndarray:
-        return self.encoder.model.embed_graph(graph)
-
     def _contrastive_epoch(self, graphs, labels, num_pairs) -> float:
         model = self.encoder.model
+        batched = batch_gnn_enabled()
         total = 0.0
         for _ in range(num_pairs):
             i, j = self._sample_pair(labels)
             same = labels[i] == labels[j]
             model.zero_grad()
-            emb_i = model.embed_graph(graphs[i])
-            # Backprop for i must happen before the caches are overwritten
-            # by j's forward pass, so compute j's embedding first w/o grad,
-            # then redo i/j forward-backward separately.
-            emb_j = model.embed_graph(graphs[j])
+            if batched:
+                # One two-graph forward; the retained state makes the
+                # backward free of re-forwards.
+                embeddings, state = model.forward_batch(
+                    pack_graphs([graphs[i], graphs[j]])
+                )
+                emb_i, emb_j = embeddings[0], embeddings[1]
+            else:
+                emb_i = model.embed_graph(graphs[i])
+                # Backprop for i must happen before the caches are overwritten
+                # by j's forward pass, so compute j's embedding first w/o grad,
+                # then redo i/j forward-backward separately.
+                emb_j = model.embed_graph(graphs[j])
             loss, grad_i, grad_j = contrastive_loss(emb_i, emb_j, same, self.margin)
             if loss > 0:
-                model.embed_graph(graphs[i])
-                model.backward_graph(grad_i)
-                model.embed_graph(graphs[j])
-                model.backward_graph(grad_j)
+                if batched:
+                    model.backward_batch(state, np.vstack([grad_i, grad_j]))
+                else:
+                    model.embed_graph(graphs[i])
+                    model.backward_graph(grad_i)
+                    model.embed_graph(graphs[j])
+                    model.backward_graph(grad_j)
                 self.optimizer.step()
+            elif batched:
+                release_state(state)  # zero loss: no backward will consume it
             total += loss
         return total / num_pairs
 
     def _ms_epoch(self, graphs, labels, batch_size) -> float:
         model = self.encoder.model
+        batched = batch_gnn_enabled()
         idx = self.rng.choice(len(graphs), size=min(batch_size, len(graphs)), replace=False)
-        embeddings = np.vstack([model.embed_graph(graphs[i]) for i in idx])
+        state = None
+        full = len(idx) == len(graphs)
+        # Caller list the engine packs — and whose internal slot order the
+        # scalar fallback mirrors below.
+        base = graphs if full else [graphs[i] for i in idx]
+        if batched:
+            # When the minibatch covers the whole corpus (it is just a
+            # shuffle), reuse the *canonical* memoized batch — re-packing
+            # a fresh permuted batch every epoch would defeat both the
+            # batch memo and the workspace pool.  Per-graph embeddings
+            # are batch-composition-independent (bit-exact parity), so
+            # selecting rows by ``idx`` equals forwarding the permuted
+            # batch directly.
+            all_emb, state = model.forward_batch(pack_graphs(base))
+            embeddings = all_emb[idx] if full else all_emb
+        else:
+            embeddings = np.vstack([model.embed_graph(graphs[i]) for i in idx])
         norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
         norms[norms == 0] = 1.0
         normalized = embeddings / norms
         loss, grad_norm = multi_similarity_loss(normalized, labels[idx])
+        grad_emb = _normalization_grad(grad_norm, normalized, norms)
         model.zero_grad()
-        for row, i in enumerate(idx):
-            # grad through the normalization
-            norm = norms[row, 0]
-            g = grad_norm[row] / norm - (
-                normalized[row] * (grad_norm[row] @ normalized[row]) / norm
-            )
-            model.embed_graph(graphs[i])
-            model.backward_graph(g)
+        # Both modes accumulate per-graph parameter gradients in the
+        # batch's internal slot order (stable size sort of ``base``): the
+        # engine reduces its gradient stacks in place with no gather, and
+        # the scalar loop iterates graphs in the identical order, keeping
+        # the two trajectories bit-exact.
+        if batched:
+            if full:
+                grad_all = np.empty_like(grad_emb)
+                grad_all[idx] = grad_emb
+                model.backward_batch(state, grad_all, order="slots")
+            else:
+                model.backward_batch(state, grad_emb, order="slots")
+        else:
+            if full:
+                rows = np.empty(len(idx), dtype=np.intp)
+                rows[idx] = np.arange(len(idx))
+            else:
+                rows = np.arange(len(idx))
+            for c in accumulation_order([g.num_nodes for g in base]):
+                model.embed_graph(base[c])
+                model.backward_graph(grad_emb[rows[c]])
         self.optimizer.step()
         return loss
 

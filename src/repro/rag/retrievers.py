@@ -53,7 +53,12 @@ class StrategyHit:
 
 
 class EmbeddingRetriever:
-    """Graph-embedding retrieval over the expert database (+ Eq. 5 rerank)."""
+    """Graph-embedding retrieval over the expert database (+ Eq. 5 rerank).
+
+    ``rerank_overfetch`` is how many times ``k`` candidates the kNN stage
+    fetches before the domain rerank reorders them; without reranking
+    there is nothing to reorder, so exactly ``k`` are fetched.
+    """
 
     def __init__(
         self,
@@ -61,23 +66,32 @@ class EmbeddingRetriever:
         alpha: float = 0.7,
         beta: float = 0.3,
         characteristic: str = "cps",
+        rerank_overfetch: int = 2,
     ) -> None:
         if characteristic not in ("cps", "area", "leakage"):
             raise ValueError(f"unknown characteristic {characteristic!r}")
+        if rerank_overfetch < 1:
+            raise ValueError("rerank_overfetch must be >= 1")
         self.database = database
         self.alpha = alpha
         self.beta = beta
         self.characteristic = characteristic
+        self.rerank_overfetch = rerank_overfetch
 
     def _metric(self, entry) -> float:
         value = entry.characteristics()[self.characteristic]
         # For area/leakage smaller is better; cps larger is better.
         return value if self.characteristic == "cps" else -value
 
+    def _fetch_k(self, k: int, rerank: bool) -> int:
+        return k * self.rerank_overfetch if rerank else k
+
     def retrieve_designs(
         self, query_embedding: np.ndarray, k: int = 3, rerank: bool = True
     ) -> list[SearchResult]:
-        hits = self.database.design_index.search(query_embedding, k=max(k * 2, k))
+        hits = self.database.design_index.search(
+            query_embedding, k=self._fetch_k(k, rerank)
+        )
         if rerank:
             hits = domain_rerank(hits, self._metric, self.alpha, self.beta)
         return hits[:k]
@@ -85,7 +99,9 @@ class EmbeddingRetriever:
     def retrieve_modules(
         self, query_embedding: np.ndarray, k: int = 3, rerank: bool = True
     ) -> list[SearchResult]:
-        hits = self.database.module_index.search(query_embedding, k=max(k * 2, k))
+        hits = self.database.module_index.search(
+            query_embedding, k=self._fetch_k(k, rerank)
+        )
         if rerank:
             hits = domain_rerank(hits, self._metric, self.alpha, self.beta)
         return hits[:k]
@@ -215,8 +231,10 @@ class ManualRetriever:
             self.index.add(entry.command, self.embedder.embed(entry.text), payload=entry)
 
     def retrieve(self, query: str, k: int = 3, rerank: bool = True) -> list[ManualHit]:
-        hits = self.index.search(self.embedder.embed(query), k=max(k * 2, k))
-        if rerank and self.reranker is not None:
+        # Over-fetch only when an LLM rerank will actually reorder the hits.
+        rerank = rerank and self.reranker is not None
+        hits = self.index.search(self.embedder.embed(query), k=k * 2 if rerank else k)
+        if rerank:
             ordered_ids = self.reranker.rerank(
                 query, [(h.key, h.payload.text) for h in hits], k=k
             )

@@ -27,6 +27,11 @@ class FlatIndex:
     Vectors are added with a hashable ``key`` and an optional ``payload``
     (any object — SynthRAG stores strategy records here).  ``search``
     returns the top-k entries by the chosen metric, largest score first.
+
+    Storage is a preallocated matrix that doubles in capacity when full,
+    so interleaved add/search streams cost O(1) amortized per add — a
+    search never triggers a rebuild, and only capacity growth (or a
+    ``remove``) reallocates.  ``rebuilds`` counts those reallocations.
     """
 
     def __init__(self, dim: int, metric: str = "cosine") -> None:
@@ -36,26 +41,41 @@ class FlatIndex:
         self.metric = metric
         self._keys: list[Any] = []
         self._payloads: list[Any] = []
-        self._rows: list[np.ndarray] = []
-        self._matrix: np.ndarray | None = None
+        self._key_pos: dict[Any, int] = {}
+        self._matrix = np.empty((0, dim), dtype=np.float64)
+        self._size = 0
+        #: Number of matrix reallocations (capacity doublings + removals).
+        self.rebuilds = 0
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return self._size
 
     def __contains__(self, key: Any) -> bool:
-        return key in self._keys
+        return key in self._key_pos
+
+    def _grow(self, minimum: int) -> None:
+        capacity = max(4, self._matrix.shape[0])
+        while capacity < minimum:
+            capacity *= 2
+        grown = np.empty((capacity, self.dim), dtype=np.float64)
+        grown[: self._size] = self._matrix[: self._size]
+        self._matrix = grown
+        self.rebuilds += 1
 
     def add(self, key: Any, vector: Sequence[float], payload: Any = None) -> None:
         """Insert one vector; duplicate keys are rejected."""
         vector = np.asarray(vector, dtype=np.float64).reshape(-1)
         if vector.shape[0] != self.dim:
             raise ValueError(f"expected dim {self.dim}, got {vector.shape[0]}")
-        if key in self._keys:
+        if key in self._key_pos:
             raise ValueError(f"duplicate key {key!r}")
+        if self._size == self._matrix.shape[0]:
+            self._grow(self._size + 1)
+        self._matrix[self._size] = vector
+        self._key_pos[key] = self._size
         self._keys.append(key)
         self._payloads.append(payload)
-        self._rows.append(vector)
-        self._matrix = None
+        self._size += 1
 
     def add_batch(
         self,
@@ -65,27 +85,29 @@ class FlatIndex:
     ) -> None:
         vectors = np.asarray(vectors, dtype=np.float64)
         payloads = payloads if payloads is not None else [None] * len(keys)
+        if len(keys) and self._size + len(keys) > self._matrix.shape[0]:
+            self._grow(self._size + len(keys))
         for key, vec, payload in zip(keys, vectors, payloads):
             self.add(key, vec, payload)
 
     def remove(self, key: Any) -> None:
-        idx = self._keys.index(key)
-        del self._keys[idx], self._payloads[idx], self._rows[idx]
-        self._matrix = None
+        idx = self._key_pos.pop(key)
+        del self._keys[idx], self._payloads[idx]
+        self._matrix = np.delete(self._matrix[: self._size], idx, axis=0)
+        self._size -= 1
+        self.rebuilds += 1
+        for moved in range(idx, self._size):
+            self._key_pos[self._keys[moved]] = moved
 
     def get_vector(self, key: Any) -> np.ndarray:
-        return self._rows[self._keys.index(key)].copy()
+        return self._matrix[self._key_pos[key]].copy()
 
     def _database(self) -> np.ndarray:
-        if self._matrix is None:
-            self._matrix = (
-                np.vstack(self._rows) if self._rows else np.empty((0, self.dim))
-            )
-        return self._matrix
+        return self._matrix[: self._size]
 
     def search(self, query: Sequence[float], k: int = 5) -> list[SearchResult]:
         """Top-``k`` entries closest to ``query`` (largest score first)."""
-        if not self._keys:
+        if not self._size:
             return []
         query = np.asarray(query, dtype=np.float64).reshape(1, -1)
         if query.shape[1] != self.dim:

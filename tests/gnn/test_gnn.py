@@ -244,3 +244,120 @@ class TestOptimizers:
         before = param[0] ** 2
         SGD([param], [grad], lr=lr).step()
         assert param[0] ** 2 < before
+
+
+class TestSAGELayerCacheDiscipline:
+    """Satellite: clear errors when backward is called without a cache."""
+
+    def test_backward_twice_after_one_forward_raises(self):
+        layer = SAGELayer(3, 5)
+        g = chain_graph()
+        adj = mean_adjacency(g.num_nodes, g.edges)
+        layer.forward(g.features, adj)
+        layer.backward(np.zeros((g.num_nodes, 5)))
+        with pytest.raises(RuntimeError, match="matching forward"):
+            layer.backward(np.zeros((g.num_nodes, 5)))
+
+    def test_forward_forward_backward_uses_latest_cache(self):
+        rng = np.random.default_rng(3)
+        layer = SAGELayer(3, 5, rng=rng)
+        g1 = chain_graph(n=4, seed=1)
+        g2 = chain_graph(n=6, seed=2)
+        adj2 = mean_adjacency(g2.num_nodes, g2.edges)
+        layer.forward(g1.features, mean_adjacency(g1.num_nodes, g1.edges))
+        layer.forward(g2.features, adj2)
+        grad_in = layer.backward(np.ones((g2.num_nodes, 5)))
+        assert grad_in.shape == g2.features.shape
+
+    def test_model_backward_twice_raises(self):
+        model = GraphSAGE(in_dim=3, hidden_dims=(4,), seed=0)
+        model.embed_graph(chain_graph())
+        model.backward_graph(np.zeros(4))
+        with pytest.raises(RuntimeError):
+            model.backward_graph(np.zeros(4))
+
+    def test_reentrant_api_keeps_layer_cache_intact(self):
+        """forward_reentrant/backward_reentrant never touch layer state."""
+        layer = SAGELayer(3, 5)
+        g = chain_graph()
+        adj = mean_adjacency(g.num_nodes, g.edges)
+        layer.forward(g.features, adj)  # arm the stateful cache
+        out, cache = layer.forward_reentrant(g.features, adj @ g.features)
+        layer.backward_reentrant(np.ones_like(out), cache)
+        # Stateful backward still works: the re-entrant calls above must
+        # not have consumed or clobbered the layer's own cache.
+        layer.backward(np.zeros((g.num_nodes, 5)))
+
+
+class TestEmbeddingCache:
+    def fresh_model(self, seed=0):
+        return GraphSAGE(in_dim=3, hidden_dims=(5, 4), seed=seed)
+
+    def test_repeat_embed_hits_cache(self, monkeypatch):
+        from repro.gnn.batch import embedding_cache
+
+        monkeypatch.setenv("REPRO_GNN_EMBED_CACHE", "1")
+        model = self.fresh_model()
+        graphs = [chain_graph(seed=s) for s in range(3)]
+        first = model.embed_graphs(graphs)
+        hits_before = embedding_cache.hits
+        second = model.embed_graphs(graphs)
+        assert embedding_cache.hits == hits_before + len(graphs)
+        np.testing.assert_array_equal(first, second)
+
+    def test_load_state_dict_invalidates(self, monkeypatch):
+        from repro.gnn.batch import embedding_cache
+
+        monkeypatch.setenv("REPRO_GNN_EMBED_CACHE", "1")
+        model = self.fresh_model()
+        graphs = [chain_graph(seed=9)]
+        model.embed_graphs(graphs)
+        version = model.version
+        model.load_state_dict(model.state_dict())
+        assert model.version > version
+        hits_before = embedding_cache.hits
+        model.embed_graphs(graphs)
+        assert embedding_cache.hits == hits_before  # stale key: miss, not hit
+
+    def test_optimizer_step_invalidates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GNN_EMBED_CACHE", "1")
+        model = self.fresh_model(seed=4)
+        opt = Adam(model.parameters, model.gradients, on_step=model.bump_version)
+        graph = chain_graph(seed=4)
+        before = model.embed_graphs([graph])[0]
+        model.embed_graph(graph)
+        model.backward_graph(np.ones(model.embedding_dim))
+        opt.step()
+        after = model.embed_graphs([graph])[0]
+        # Version bumped, so the cache may not serve the pre-step embedding.
+        assert not np.array_equal(before, after)
+        np.testing.assert_array_equal(after, model.embed_graph(graph))
+
+    def test_cache_disabled_by_env(self, monkeypatch):
+        from repro.gnn.batch import embedding_cache
+
+        monkeypatch.setenv("REPRO_GNN_EMBED_CACHE", "0")
+        model = self.fresh_model(seed=5)
+        graphs = [chain_graph(seed=5)]
+        hits_before = embedding_cache.hits
+        entries_before = len(embedding_cache)
+        model.embed_graphs(graphs)
+        model.embed_graphs(graphs)
+        assert embedding_cache.hits == hits_before
+        assert len(embedding_cache) == entries_before
+
+    def test_stats_provider_registered(self):
+        from repro import perf
+
+        snapshot = perf.registry.snapshot()
+        stats = snapshot["caches"]["gnn_embed"]
+        assert set(stats) >= {"enabled", "entries", "hits", "misses", "evictions"}
+
+    def test_cached_rows_are_copies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GNN_EMBED_CACHE", "1")
+        model = self.fresh_model(seed=6)
+        graph = chain_graph(seed=6)
+        first = model.embed_graphs([graph])
+        first[0, 0] = 1e9  # mutate the returned row
+        second = model.embed_graphs([graph])[0]
+        np.testing.assert_array_equal(second, model.embed_graph(graph))

@@ -166,3 +166,76 @@ class TestTrainer:
     def test_unknown_loss_rejected(self):
         with pytest.raises(ValueError):
             MetricTrainer(CircuitEncoder(), loss="triplet-magic")
+
+
+class TestVectorizedLossOracle:
+    """Vectorized multi-similarity loss must match the O(n^2) reference."""
+
+    @given(st.integers(0, 1000), st.integers(3, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_loop_reference(self, seed, n):
+        from repro.mentor.metric_learning import _multi_similarity_loss_loop
+
+        rng = np.random.default_rng(seed)
+        emb = rng.normal(size=(n, 4))
+        emb /= np.linalg.norm(emb, axis=1, keepdims=True)
+        labels = rng.integers(0, 3, size=n)
+        loss_vec, grad_vec = multi_similarity_loss(emb, labels)
+        loss_ref, grad_ref = _multi_similarity_loss_loop(emb, labels)
+        assert loss_vec == pytest.approx(loss_ref, rel=1e-12, abs=1e-12)
+        np.testing.assert_allclose(grad_vec, grad_ref, rtol=1e-12, atol=1e-12)
+
+    def test_single_class_batch(self):
+        from repro.mentor.metric_learning import _multi_similarity_loss_loop
+
+        emb = np.random.default_rng(1).normal(size=(4, 3))
+        labels = np.zeros(4, dtype=int)
+        loss_vec, grad_vec = multi_similarity_loss(emb, labels)
+        loss_ref, grad_ref = _multi_similarity_loss_loop(emb, labels)
+        assert loss_vec == pytest.approx(loss_ref, rel=1e-12, abs=1e-12)
+        np.testing.assert_allclose(grad_vec, grad_ref, rtol=1e-12, atol=1e-12)
+
+    @given(st.integers(0, 500), st.integers(4, 12))
+    @settings(max_examples=15, deadline=None)
+    def test_clustering_quality_matches_pairwise_definition(self, seed, n):
+        rng = np.random.default_rng(seed)
+        emb = rng.normal(size=(n, 3))
+        labels = rng.integers(0, 3, size=n)
+        got = clustering_quality(emb, labels)
+        intra, inter = [], []
+        for i in range(n):
+            for j in range(i + 1, n):
+                dist = float(np.linalg.norm(emb[i] - emb[j]))
+                (intra if labels[i] == labels[j] else inter).append(dist)
+        if intra and inter:
+            assert got["intra_mean"] == pytest.approx(np.mean(intra), rel=1e-12)
+            assert got["inter_mean"] == pytest.approx(np.mean(inter), rel=1e-12)
+
+
+class TestCrossModeDeterminism:
+    """Satellite: same seed + graphs -> identical training in both engine
+    modes (REPRO_BATCH_GNN=1 batched vs =0 scalar)."""
+
+    def _train(self, monkeypatch, mode, loss, seed=3):
+        monkeypatch.setenv("REPRO_BATCH_GNN", mode)
+        monkeypatch.setenv("REPRO_GNN_EMBED_CACHE", "0")
+        graphs, labels = TestTrainer().make_dataset(seed=seed)
+        encoder = CircuitEncoder(embedding_dim=8, seed=seed)
+        stats = MetricTrainer(encoder, loss=loss, seed=seed).train(
+            graphs, labels, epochs=4
+        )
+        final = np.vstack([encoder.model.embed_graph(g) for g in graphs])
+        return stats, final
+
+    @pytest.mark.parametrize("loss", ["contrastive", "multi_similarity"])
+    def test_identical_stats_and_embeddings(self, monkeypatch, loss):
+        stats_b, emb_b = self._train(monkeypatch, "1", loss)
+        stats_s, emb_s = self._train(monkeypatch, "0", loss)
+        assert stats_b.losses == stats_s.losses
+        np.testing.assert_array_equal(emb_b, emb_s)
+
+    def test_repeat_run_is_deterministic(self, monkeypatch):
+        stats1, emb1 = self._train(monkeypatch, "1", "multi_similarity", seed=7)
+        stats2, emb2 = self._train(monkeypatch, "1", "multi_similarity", seed=7)
+        assert stats1.losses == stats2.losses
+        np.testing.assert_array_equal(emb1, emb2)

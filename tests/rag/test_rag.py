@@ -190,3 +190,60 @@ class TestTable1:
     def test_command_exists_check(self, rag):
         assert rag.command_exists("compile_ultra -retime")
         assert not rag.command_exists("retime_design -effort high")
+
+
+class TestRerankOverfetch:
+    """Satellite: the kNN stage fetches rerank_overfetch*k candidates only
+    when a rerank will actually reorder them."""
+
+    def spy_search(self, index, monkeypatch):
+        seen = []
+        original = index.search
+
+        def recording(query, k=5):
+            seen.append(k)
+            return original(query, k=k)
+
+        monkeypatch.setattr(index, "search", recording)
+        return seen
+
+    def test_overfetch_applied_when_reranking(self, small_database, monkeypatch):
+        from repro.rag import EmbeddingRetriever
+
+        retriever = EmbeddingRetriever(small_database, rerank_overfetch=3)
+        seen = self.spy_search(small_database.design_index, monkeypatch)
+        query = np.ones(small_database.design_index.dim)
+        hits = retriever.retrieve_designs(query, k=2, rerank=True)
+        assert seen == [6]
+        assert len(hits) <= 2
+
+    def test_no_overfetch_without_rerank(self, small_database, monkeypatch):
+        from repro.rag import EmbeddingRetriever
+
+        retriever = EmbeddingRetriever(small_database, rerank_overfetch=3)
+        seen = self.spy_search(small_database.design_index, monkeypatch)
+        query = np.ones(small_database.design_index.dim)
+        retriever.retrieve_designs(query, k=2, rerank=False)
+        assert seen == [2]
+
+    def test_module_index_overfetch(self, small_database, monkeypatch):
+        from repro.rag import EmbeddingRetriever
+
+        retriever = EmbeddingRetriever(small_database, rerank_overfetch=4)
+        seen = self.spy_search(small_database.module_index, monkeypatch)
+        query = np.ones(small_database.module_index.dim)
+        retriever.retrieve_modules(query, k=3, rerank=True)
+        retriever.retrieve_modules(query, k=3, rerank=False)
+        assert seen == [12, 3]
+
+    def test_invalid_overfetch_rejected(self, small_database):
+        from repro.rag import EmbeddingRetriever
+
+        with pytest.raises(ValueError):
+            EmbeddingRetriever(small_database, rerank_overfetch=0)
+
+    def test_manual_retriever_skips_overfetch_without_reranker(self, monkeypatch):
+        retriever = ManualRetriever()  # no LLM reranker attached
+        seen = self.spy_search(retriever.index, monkeypatch)
+        retriever.retrieve("synthesis timing", k=3, rerank=True)
+        assert seen == [3]

@@ -233,3 +233,60 @@ class TestKMeansReseed:
         for q in (10, 11, 12):
             results = ivf.search(data[q], k=1)
             assert results and results[0].key == q
+
+
+class TestFlatIndexGrowth:
+    """Satellite: searches never rebuild; growth is O(log n) doublings."""
+
+    def test_search_after_add_does_not_rebuild(self):
+        idx = FlatIndex(dim=3)
+        idx.add("a", [1.0, 0.0, 0.0])
+        rebuilds = idx.rebuilds
+        for _ in range(10):
+            idx.search([1.0, 0.0, 0.0], k=1)
+        assert idx.rebuilds == rebuilds
+
+    def test_interleaved_add_search_rebuilds_logarithmically(self):
+        rng = np.random.default_rng(0)
+        idx = FlatIndex(dim=4)
+        n = 200
+        for i in range(n):
+            idx.add(i, rng.normal(size=4))
+            idx.search(rng.normal(size=4), k=3)
+        # Capacity doubles from 4, so ceil(log2(200/4)) + 1 = 7 growths.
+        assert idx.rebuilds <= int(np.ceil(np.log2(n))) + 1
+        assert len(idx) == n
+
+    def test_add_batch_grows_once(self):
+        rng = np.random.default_rng(1)
+        idx = FlatIndex(dim=4)
+        idx.add_batch(list(range(100)), rng.normal(size=(100, 4)))
+        assert idx.rebuilds == 1
+        assert len(idx) == 100
+
+    def test_results_unaffected_by_growth(self):
+        rng = np.random.default_rng(2)
+        vectors = rng.normal(size=(50, 4))
+        grown = FlatIndex(dim=4)
+        for i, vec in enumerate(vectors):
+            grown.add(i, vec)
+            grown.search(vec, k=1)  # interleave searches with growth
+        batch = FlatIndex(dim=4)
+        batch.add_batch(list(range(50)), vectors)
+        query = rng.normal(size=4)
+        got = [(r.key, r.score) for r in grown.search(query, k=5)]
+        want = [(r.key, r.score) for r in batch.search(query, k=5)]
+        assert got == want
+
+    def test_remove_counts_as_rebuild_and_keeps_positions(self):
+        rng = np.random.default_rng(3)
+        idx = FlatIndex(dim=3)
+        for i in range(6):
+            idx.add(i, rng.normal(size=3))
+        rebuilds = idx.rebuilds
+        idx.remove(2)
+        assert idx.rebuilds == rebuilds + 1
+        assert 2 not in idx
+        for key in (0, 1, 3, 4, 5):
+            assert key in idx
+            assert idx.get_vector(key).shape == (3,)
