@@ -28,6 +28,7 @@ from .optimizer import (
     retime,
     size_gates,
 )
+from .passes import PassContext, fast_opt_enabled
 from .power import PowerAnalyzer, PowerReport
 from .reports import QoRSnapshot, render_qor_report, render_timing_report
 from .sdc import Constraints
@@ -58,6 +59,8 @@ __all__ = [
     "LibCell",
     "TechLibrary",
     "nangate45",
+    "PassContext",
+    "fast_opt_enabled",
     "PassResult",
     "balance_chains",
     "buffer_high_fanout",

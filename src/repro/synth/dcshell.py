@@ -34,6 +34,7 @@ from .optimizer import (
     retime,
     size_gates,
 )
+from .passes import PassContext
 from .reports import (
     QoRSnapshot,
     render_area_report,
@@ -84,7 +85,7 @@ class DCShell:
         self.pass_log: list[str] = []
         self.last_written: str | None = None
         self.interp = TclInterpreter()
-        self._engine_cache: TimingEngine | None = None
+        self._context_cache: PassContext | None = None
         self._register_commands()
 
     # -- design registry ------------------------------------------------------------
@@ -118,13 +119,18 @@ class DCShell:
         engine = self._engine()
         return render_timing_report(self.design_name or "?", engine.analyze())
 
-    def _engine(self) -> TimingEngine:
+    def _pass_context(self) -> PassContext:
+        """The session's shared pass context (one engine for everything).
+
+        Every optimization pass and report command runs against this
+        context's :class:`TimingEngine`: it tracks the netlist's change
+        journal and its own constraint/wireload signature, so pass-to-pass
+        handoff and repeated report commands reuse (or incrementally
+        update) the previous analysis instead of rebuilding from cold.
+        """
         if self.netlist is None:
             raise DCShellError("no design loaded (run read_verilog first)")
-        # One engine per session: it tracks the netlist's change journal
-        # and its own constraint/wireload signature, so repeated report
-        # commands reuse (or incrementally update) the previous analysis.
-        cached = self._engine_cache
+        cached = self._context_cache
         if (
             cached is None
             or cached.netlist is not self.netlist
@@ -132,11 +138,14 @@ class DCShell:
             or cached.wireload is not self.wireload
             or cached.constraints is not self.constraints
         ):
-            cached = TimingEngine(
+            cached = PassContext(
                 self.netlist, self.library, self.wireload, self.constraints
             )
-            self._engine_cache = cached
+            self._context_cache = cached
         return cached
+
+    def _engine(self) -> TimingEngine:
+        return self._pass_context().engine
 
     # -- command registration ---------------------------------------------------------
 
@@ -196,8 +205,20 @@ class DCShell:
                 i += 1
         return options, positional, flags
 
+    # Passes that take the shared engine context (timing-driven ones).
+    _CONTEXT_PASSES = frozenset(
+        {"size_gates", "retime", "buffer_high_fanout", "recover_area"}
+    )
+
     def _optimize(self, name: str, fn, *args, **kwargs):
-        """Run one optimizer pass inside a ``synth.optimize`` span."""
+        """Run one optimizer pass inside a ``synth.optimize`` span.
+
+        Timing-driven passes receive the session's shared
+        :class:`PassContext`, so the whole compile flow drives one
+        incremental timing engine instead of a cold STA per pass.
+        """
+        if name in self._CONTEXT_PASSES:
+            kwargs.setdefault("context", self._pass_context())
         with obs.span("synth.optimize", opt=name):
             return fn(*args, **kwargs)
 

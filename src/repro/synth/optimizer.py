@@ -11,6 +11,15 @@ These are the QoR levers that synthesis-script commands pull (paper §I):
   trees (part of ``compile_ultra``'s restructuring).
 
 All passes mutate the netlist in place and report what they changed.
+
+The timing-driven passes accept an optional :class:`~repro.synth.passes.
+PassContext` so a compile flow shares one incremental
+:class:`~repro.synth.timing.TimingEngine` across every pass (``DCShell``
+always provides one; direct callers get a fresh private context).  With
+``REPRO_FAST_OPT`` on (the default) the candidate loops run vectorized —
+batched side-effect-free trial evaluation over the SoA arrays — with a
+bit-exact contract against the retained scalar loops: identical accepted
+changes, identical final netlist, identical QoR.
 """
 
 from __future__ import annotations
@@ -18,11 +27,14 @@ from __future__ import annotations
 import functools
 from dataclasses import dataclass
 
+import numpy as np
+
 from .. import perf
 from ..hdl.netlist import Netlist
+from . import soa
 from .library import TechLibrary
+from .passes import PassContext
 from .sdc import Constraints
-from .timing import TimingEngine
 from .wireload import WireLoadModel
 
 __all__ = [
@@ -34,6 +46,12 @@ __all__ = [
     "balance_chains",
     "resynthesize_adders",
 ]
+
+# Trial lanes per batched kernel sweep in the fast sizing loop: large
+# enough to amortize the per-level numpy overhead over many candidates on
+# reject-heavy rounds, small enough that an early acceptance wastes little.
+_TRIAL_BATCH = 16
+_PROBE_DEPTH = 2
 
 
 @dataclass
@@ -48,13 +66,16 @@ class PassResult:
     area_after: float
 
 
-def _engine(
+def _context(
+    context: PassContext | None,
     netlist: Netlist,
     library: TechLibrary,
     wireload: WireLoadModel,
     constraints: Constraints,
-) -> TimingEngine:
-    return TimingEngine(netlist, library, wireload, constraints)
+) -> PassContext:
+    if context is not None:
+        return context
+    return PassContext(netlist, library, wireload, constraints)
 
 
 def _timed(fn):
@@ -71,6 +92,20 @@ def _timed(fn):
 # -- gate sizing --------------------------------------------------------------
 
 
+def _upsize_candidates(netlist, upgrade, points):
+    """``(cell, stronger variant name)`` per viable point, in point order."""
+    candidates = []
+    for point in points:
+        cell = netlist.cells.get(point.cell)
+        if cell is None or cell.lib_cell is None:
+            continue
+        bigger = upgrade[cell.lib_cell]
+        if bigger is None:
+            continue
+        candidates.append((cell, bigger.name))
+    return candidates
+
+
 @_timed
 def size_gates(
     netlist: Netlist,
@@ -79,6 +114,7 @@ def size_gates(
     constraints: Constraints,
     max_rounds: int = 30,
     scan: int = 12,
+    context: PassContext | None = None,
 ) -> PassResult:
     """Greedy critical-path upsizing.
 
@@ -86,10 +122,17 @@ def size_gates(
     the largest delay contribution that still has a stronger variant,
     trying up to ``scan`` candidates per round.  Stops when timing is met,
     no upgrades remain, or a round fails to improve the worst slack.
+
+    Fast mode scores the round's candidates through
+    :meth:`TimingEngine.trial_cps_batch` — chunks of hypothetical rebinds
+    evaluated in one kernel sweep, no netlist mutation for rejects — and
+    accepts the first improving candidate, exactly like the scalar loop.
     """
-    engine = _engine(netlist, library, wireload, constraints)
+    ctx = _context(context, netlist, library, wireload, constraints)
+    engine = ctx.engine
     report = engine.analyze()
     wns_before, area_before = report.cps, engine.total_area()
+    upgrade = ctx.upgrade_table()
     changes = 0
     for _ in range(max_rounds):
         if report.critical_path is None or report.cps >= 0:
@@ -101,33 +144,82 @@ def size_gates(
         # upsize that actually improves the worst slack (upsizing raises
         # input capacitance, so not every candidate is a win).
         improved_report = None
-        for point in points[:scan]:
-            cell = netlist.cells.get(point.cell)
-            if cell is None or cell.lib_cell is None:
-                continue
-            current = library.cell(cell.lib_cell)
-            bigger = library.next_size_up(current)
-            if bigger is None:
-                continue
-            cell.lib_cell = bigger.name
-            # Trials only need the slack verdict; trace the critical path
-            # (needed to pick next round's candidates) only on acceptance,
-            # where the second analyze() is served from the cached state.
-            trial = engine.analyze(with_paths=False)
-            if trial.cps > report.cps + 1e-12:
-                improved_report = engine.analyze()
-                changes += 1
-                break
-            cell.lib_cell = current.name
+        if ctx.fast:
+            candidates = _upsize_candidates(netlist, upgrade, points[:scan])
+            start = 0
+            # Probe the strongest candidates with committed trials first:
+            # accept-heavy rounds (the common case while slack is still
+            # improving) take one for an incremental fold apiece instead
+            # of a batch sweep.  The verdict is the same bit-exact cps the
+            # batch would return.  The first round skips the probes — on
+            # reject-heavy scans (timing already plateaued) they are pure
+            # overhead, while every later round follows an accept.
+            probe = _PROBE_DEPTH if changes else 0
+            for cell, lib_name in candidates[:probe]:
+                previous = cell.lib_cell
+                cell.lib_cell = lib_name
+                perf.incr("opt.trials")
+                if engine.trial_cps() > report.cps + 1e-12:
+                    improved_report = engine.analyze()
+                    changes += 1
+                    break
+                cell.lib_cell = previous
+                start += 1
+            # Batch sizes ramp 4 -> 8 -> 16: rounds that accept near the
+            # front (common while slack is still improving) pay a small
+            # sweep, while reject-heavy scans amortize into full batches.
+            width = 4
+            while improved_report is None and start < len(candidates):
+                batch = candidates[start : start + width]
+                verdicts = engine.trial_cps_batch(
+                    [(cell.name, lib_name) for cell, lib_name in batch]
+                )
+                perf.incr("opt.trials", len(batch))
+                accepted = None
+                for (cell, lib_name), cps in zip(batch, verdicts):
+                    if cps > report.cps + 1e-12:
+                        accepted = (cell, lib_name)
+                        break
+                if accepted is not None:
+                    cell, lib_name = accepted
+                    cell.lib_cell = lib_name
+                    improved_report = engine.analyze()
+                    changes += 1
+                    break
+                start += width
+                width = min(width * 2, _TRIAL_BATCH)
+        else:
+            for point in points[:scan]:
+                cell = netlist.cells.get(point.cell)
+                if cell is None or cell.lib_cell is None:
+                    continue
+                bigger = upgrade[cell.lib_cell]
+                if bigger is None:
+                    continue
+                previous = cell.lib_cell
+                cell.lib_cell = bigger.name
+                # Trials only need the slack verdict; trace the critical
+                # path (needed to pick next round's candidates) only on
+                # acceptance, where the second analyze() is served from
+                # the cached state.
+                perf.incr("opt.trials")
+                trial = engine.analyze(with_paths=False)
+                if trial.cps > report.cps + 1e-12:
+                    improved_report = engine.analyze()
+                    changes += 1
+                    break
+                cell.lib_cell = previous
         if improved_report is None:
             break
         report = improved_report
-    final = engine.analyze()
+    # trial_cps is bit-identical to analyze().cps and skips the report
+    # build + path trace the result would immediately discard.
+    final_cps = engine.trial_cps()
     return PassResult(
         name="size_gates",
         changes=changes,
         wns_before=wns_before,
-        wns_after=final.cps,
+        wns_after=final_cps,
         area_before=area_before,
         area_after=engine.total_area(),
     )
@@ -140,51 +232,93 @@ def recover_area(
     wireload: WireLoadModel,
     constraints: Constraints,
     slack_margin: float = 0.05,
+    context: PassContext | None = None,
 ) -> PassResult:
     """Downsize cells whose endpoints keep >= ``slack_margin`` slack.
 
     Processes cells one at a time and reverts any downsize that creates a
-    violation, so the pass is timing-safe.
+    violation, so the pass is timing-safe.  Candidates come from the
+    per-library downgrade table (one sweep over the cells); fast mode
+    replaces the per-chunk report build with the ``trial_cps`` array
+    reduction — the accept/revert decisions are bit-identical.
     """
-    engine = _engine(netlist, library, wireload, constraints)
-    before = engine.analyze(with_paths=False)
+    ctx = _context(context, netlist, library, wireload, constraints)
+    engine = ctx.engine
+    before_cps = engine.trial_cps()
     area_before = engine.total_area()
     changes = 0
-    if before.cps < slack_margin:
-        return PassResult("recover_area", 0, before.cps, before.cps, area_before, area_before)
+    if before_cps < slack_margin:
+        return PassResult(
+            "recover_area", 0, before_cps, before_cps, area_before, area_before
+        )
+    downgrade = ctx.downgrade_table()
     candidates = []
     for cell in netlist.cells.values():
         if cell.lib_cell is None:
             continue
-        current = library.cell(cell.lib_cell)
-        weaker = [v for v in library.variants(current.function) if v.drive < current.drive]
-        if weaker:
-            candidates.append((cell, current, weaker[-1]))
+        weaker_cell = downgrade[cell.lib_cell]
+        if weaker_cell is not None:
+            candidates.append((cell, cell.lib_cell, weaker_cell))
     # Batched downsizing keeps this O(n) timing runs instead of O(n^2):
     # apply a chunk, verify, and roll the chunk back if slack dips.
+    fast = ctx.fast
     chunk = max(1, len(candidates) // 20)
     for start in range(0, len(candidates), chunk):
         batch = candidates[start : start + chunk]
         for cell, _, weaker_cell in batch:
             cell.lib_cell = weaker_cell.name
-        report = engine.analyze(with_paths=False)
-        if report.cps < slack_margin:
-            for cell, current, _ in batch:
-                cell.lib_cell = current.name
+        perf.incr("opt.trials")
+        cps = engine.trial_cps() if fast else engine.analyze(with_paths=False).cps
+        if cps < slack_margin:
+            for cell, current_name, _ in batch:
+                cell.lib_cell = current_name
         else:
             changes += len(batch)
-    final = engine.analyze(with_paths=False)
+    final_cps = engine.trial_cps()
     return PassResult(
         name="recover_area",
         changes=changes,
-        wns_before=before.cps,
-        wns_after=final.cps,
+        wns_before=before_cps,
+        wns_after=final_cps,
         area_before=area_before,
         area_after=engine.total_area(),
     )
 
 
 # -- fanout buffering -------------------------------------------------------------
+
+
+def _overloaded_nets(netlist, limit: int) -> list[str]:
+    """Nets with more than ``limit`` data pins, in definition order.
+
+    One vectorized scan over the cached SoA pair arrays when the lowering
+    is journal-valid (pair pins minus sequential clock pins), else one
+    Python sweep over the cells.  Seeding the buffer worklist with only
+    these nets is exact: the full worklist's visits to in-limit nets are
+    no-ops, and buffering one net never adds data pins to another
+    pre-existing net, so the mutation sequence (and with it every
+    generated net/cell uid) is unchanged.
+    """
+    structure = soa.peek_structure(netlist)
+    if structure is not None:
+        pins = np.bincount(
+            structure.pair_net,
+            weights=structure.pair_pins,
+            minlength=structure.num_nets,
+        )
+        for ci in structure.seq_cells.tolist():
+            clock = netlist.cells[structure.cell_names[ci]].attrs.get("clock")
+            if clock is not None:
+                pins[structure.net_index[clock]] -= 1.0
+        over = pins > limit
+        return [
+            name for ni, name in enumerate(structure.net_names) if over[ni]
+        ]
+    counts: dict[str, int] = {}
+    for cell in netlist.cells.values():
+        for net_in in cell.inputs:
+            counts[net_in] = counts.get(net_in, 0) + 1
+    return [name for name in netlist.nets if counts.get(name, 0) > limit]
 
 
 @_timed
@@ -194,19 +328,26 @@ def buffer_high_fanout(
     wireload: WireLoadModel,
     constraints: Constraints,
     max_fanout: int | None = None,
+    context: PassContext | None = None,
 ) -> PassResult:
     """Split nets whose fanout exceeds ``max_fanout`` with buffer trees.
 
     Sinks are grouped under new BUF cells (strongest drive variant),
-    recursively, so no net drives more than ``max_fanout`` pins.
+    recursively, so no net drives more than ``max_fanout`` pins.  Fast
+    mode seeds the worklist from one fanout scan instead of visiting
+    every net; see :func:`_overloaded_nets` for the parity argument.
     """
     limit = max_fanout or constraints.max_fanout or 16
-    engine = _engine(netlist, library, wireload, constraints)
+    ctx = _context(context, netlist, library, wireload, constraints)
+    engine = ctx.engine
     before = engine.analyze(with_paths=False)
     area_before = engine.total_area()
     buf_cell = library.variants("BUF")[-1]
     changes = 0
-    worklist = list(netlist.nets)
+    if ctx.fast:
+        worklist = _overloaded_nets(netlist, limit)
+    else:
+        worklist = list(netlist.nets)
     while worklist:
         net_name = worklist.pop()
         net = netlist.nets.get(net_name)
@@ -349,15 +490,19 @@ def retime(
     wireload: WireLoadModel,
     constraints: Constraints,
     max_moves: int = 200,
+    context: PassContext | None = None,
 ) -> PassResult:
     """Greedy min-period retiming: move registers off the critical path.
 
     Repeatedly analyzes timing; if the critical endpoint is a register,
     tries a backward move there; if the critical path launches from a
     register, tries a forward move through the first gate.  A move is kept
-    only when the worst slack does not degrade.
+    only when the worst slack does not degrade.  Retiming edits are
+    structural, so the shared context engine rebuilds per kept move; the
+    win from the context is pass-to-pass engine reuse, not a fast loop.
     """
-    engine = _engine(netlist, library, wireload, constraints)
+    ctx = _context(context, netlist, library, wireload, constraints)
+    engine = ctx.engine
     report = engine.analyze()
     wns_before, area_before = report.cps, engine.total_area()
     moves = 0

@@ -1,0 +1,144 @@
+"""Pass-engine layer: one shared timing context for the whole compile flow.
+
+Before this layer, every optimization pass built its own
+:class:`~repro.synth.timing.TimingEngine` — a cold STA (full arrival
+propagation, and in vector mode a fresh kernel binding) per pass, even
+though the netlist journal already lets one engine follow the flow's
+mutations incrementally.  :class:`PassContext` owns that single engine:
+``DCShell`` hands the same context to every pass it runs, passes journal
+their edits through the netlist change journal as before, and the shell's
+report commands reuse the same warm engine.
+
+The context also latches the ``REPRO_FAST_OPT`` gate (default on) that
+selects the vectorized candidate loops in :mod:`repro.synth.optimizer` —
+batched trial evaluation over the SoA arrays instead of one scalar
+``analyze()`` per trial.  The fast loops are bit-exact: same candidate
+order, same acceptance tests on bit-identical slack verdicts, hence the
+same accepted-change sequence, the same final netlist and the same QoR
+report as the scalar fallback.  ``REPRO_FAST_OPT=0`` restores the scalar
+loops (the engine-sharing above is unconditional — it is exact in both
+modes by the engine's own parity contract).
+
+Per-library candidate tables (:func:`upgrade_table` /
+:func:`downgrade_table`) hoist ``library.next_size_up`` / ``variants``
+lookups out of the round loops; both engine modes share them.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+
+from ..hdl.netlist import Netlist
+from .library import LibCell, TechLibrary
+from .sdc import Constraints
+from .timing import TimingEngine
+from .wireload import WireLoadModel
+
+__all__ = [
+    "PassContext",
+    "fast_opt_enabled",
+    "upgrade_table",
+    "downgrade_table",
+]
+
+
+def fast_opt_enabled() -> bool:
+    """Whether the vectorized pass loops are active (``REPRO_FAST_OPT``)."""
+    return os.environ.get("REPRO_FAST_OPT", "1").lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+_TABLE_LOCK = threading.Lock()
+_UPGRADES: "weakref.WeakKeyDictionary[TechLibrary, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+_DOWNGRADES: "weakref.WeakKeyDictionary[TechLibrary, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def upgrade_table(library: TechLibrary) -> dict[str, LibCell | None]:
+    """``{lib_cell name -> next stronger variant (or None)}`` for ``library``.
+
+    Exactly ``library.next_size_up(library.cell(name))`` per entry, built
+    once per library object.  Lookups of names the library does not know
+    raise ``KeyError`` — the same contract as ``library.cell``.
+    """
+    with _TABLE_LOCK:
+        table = _UPGRADES.get(library)
+        if table is None:
+            table = {
+                cell.name: library.next_size_up(cell) for cell in library.cells()
+            }
+            _UPGRADES[library] = table
+    return table
+
+
+def downgrade_table(library: TechLibrary) -> dict[str, LibCell | None]:
+    """``{lib_cell name -> strongest weaker variant (or None)}``.
+
+    Matches ``recover_area``'s scalar candidate scan: the last entry of
+    ``[v for v in variants(function) if v.drive < current.drive]``.
+    """
+    with _TABLE_LOCK:
+        table = _DOWNGRADES.get(library)
+        if table is None:
+            table = {}
+            for cell in library.cells():
+                weaker = [
+                    v for v in library.variants(cell.function)
+                    if v.drive < cell.drive
+                ]
+                table[cell.name] = weaker[-1] if weaker else None
+            _DOWNGRADES[library] = table
+    return table
+
+
+class PassContext:
+    """Shared state for one compile flow over one netlist.
+
+    Owns the single :class:`TimingEngine` (and with it the SoA lowering +
+    kernel) that every timing-driven pass uses; the engine follows the
+    netlist's change journal, so pass-to-pass handoff is incremental
+    instead of a rebuild.  ``fast`` selects the vectorized candidate
+    loops; it reads ``REPRO_FAST_OPT`` per access unless overridden, so a
+    context built before an environment flip still honors it.
+    """
+
+    __slots__ = (
+        "netlist", "library", "wireload", "constraints", "engine", "_fast",
+    )
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: TechLibrary,
+        wireload: WireLoadModel,
+        constraints: Constraints,
+        engine: TimingEngine | None = None,
+        fast: bool | None = None,
+    ) -> None:
+        self.netlist = netlist
+        self.library = library
+        self.wireload = wireload
+        self.constraints = constraints
+        self.engine = engine if engine is not None else TimingEngine(
+            netlist, library, wireload, constraints
+        )
+        self._fast = fast
+
+    @property
+    def fast(self) -> bool:
+        """Whether passes should take their vectorized candidate loops."""
+        if self._fast is not None:
+            return self._fast
+        return fast_opt_enabled()
+
+    def upgrade_table(self) -> dict[str, LibCell | None]:
+        return upgrade_table(self.library)
+
+    def downgrade_table(self) -> dict[str, LibCell | None]:
+        return downgrade_table(self.library)

@@ -58,6 +58,7 @@ __all__ = [
     "SoAStructure",
     "SoAKernel",
     "get_structure",
+    "peek_structure",
     "structure_cache_stats",
     "clear_structure_cache",
     "vector_power",
@@ -95,7 +96,7 @@ class SoAStructure:
     __slots__ = (
         "net_names", "net_index", "cell_names", "cell_index",
         "num_nets", "num_cells",
-        "pair_net", "pair_cell", "pair_pins", "fanout", "ext_cap",
+        "pair_net", "pair_cell", "pair_pins", "pair_ptr", "fanout", "ext_cap",
         "net_is_output", "net_is_clock", "net_is_input", "net_has_driver",
         "cell_out", "cell_gate", "cell_is_seq", "cell_is_const", "cell_level",
         "levels",
@@ -150,6 +151,12 @@ class SoAStructure:
         self.pair_net = np.asarray(pair_net, dtype=np.intp)
         self.pair_cell = np.asarray(pair_cell, dtype=np.intp)
         self.pair_pins = np.asarray(pair_pins, dtype=np.float64)
+        # CSR over the (sorted-by-net) pair arrays: pairs of net ``ni`` live
+        # in ``pair_ptr[ni]:pair_ptr[ni + 1]`` — the per-net segment view the
+        # batched trial evaluator uses to re-accumulate single net loads.
+        self.pair_ptr = np.searchsorted(
+            self.pair_net, np.arange(self.num_nets + 1)
+        )
         self.fanout = fanout
         self.ext_cap = np.where(net_is_output, 2.0, 0.0)
         self.net_is_output = net_is_output
@@ -307,6 +314,25 @@ def get_structure(netlist) -> SoAStructure:
     return structure
 
 
+def peek_structure(netlist) -> SoAStructure | None:
+    """The cached lowering for ``netlist`` if still journal-valid, else None.
+
+    Unlike :func:`get_structure` this never lowers: callers that merely
+    *benefit* from the arrays (e.g. the fanout scan in
+    ``buffer_high_fanout``) use it to avoid paying a full lowering for a
+    netlist that is about to be structurally edited anyway.
+    """
+    with _STRUCT_LOCK:
+        entry = _STRUCTURES.get(netlist)
+        if entry is None:
+            return None
+        cursor, structure = entry
+        events = netlist.journal_since(cursor)
+        if events is not None and all(kind == "resize" for kind, _ in events):
+            return structure
+    return None
+
+
 def structure_cache_stats() -> dict:
     """Lowering/kernel activity, shaped for ``perf.snapshot()["caches"]``."""
     with _STRUCT_LOCK:
@@ -335,7 +361,7 @@ perf.register_stats_provider("vector_sta", structure_cache_stats)
 # -- kernel --------------------------------------------------------------------
 
 # Library-parameter matrix columns.
-_CAP, _RES, _BASE, _SETUP, _LEAK, _DRIVE = range(6)
+_CAP, _RES, _BASE, _SETUP, _LEAK, _DRIVE, _AREA = range(7)
 
 
 class SoAKernel:
@@ -378,32 +404,40 @@ class SoAKernel:
         self.loads: np.ndarray | None = None
         self.delay: np.ndarray | None = None
         self.arrivals: np.ndarray | None = None
+        self._seq_pos: dict[int, int] | None = None
+        self._pi_pos: dict[int, int] | None = None
+        self._lvl_pos: dict[int, tuple[int, int]] | None = None
+        self._reader_min: np.ndarray | None = None
 
     # -- binding -------------------------------------------------------------
 
     def _resolve_row(self, cell) -> int:
         """Row index holding ``cell``'s bound library parameters."""
-        if cell.gate in _CONSTS:
+        return self._row_for_binding(cell.gate, cell.lib_cell)
+
+    def _row_for_binding(self, gate: str, lib_cell: str | None) -> int:
+        """Row index for a (gate, lib_cell) binding — hypothetical or real."""
+        if gate in _CONSTS:
             key = ("__const__",)
-        elif cell.lib_cell is not None and cell.lib_cell in self.library:
-            key = cell.lib_cell
+        elif lib_cell is not None and lib_cell in self.library:
+            key = lib_cell
         else:
-            key = ("__weakest__", cell.gate)
+            key = ("__weakest__", gate)
         row = self._row_of.get(key)
         if row is not None:
             return row
         if key == ("__const__",):
-            params = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            params = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
         else:
             lib = (
                 self.library.cell(key)
                 if isinstance(key, str)
-                else self.library.weakest(cell.gate)
+                else self.library.weakest(gate)
             )
             base = lib.clk_to_q if lib.is_sequential else lib.intrinsic
             params = (
                 lib.input_cap, lib.drive_res, base,
-                lib.setup, lib.leakage, float(lib.drive),
+                lib.setup, lib.leakage, float(lib.drive), lib.area,
             )
         row = len(self._rows)
         self._rows.append(params)
@@ -415,7 +449,7 @@ class SoAKernel:
     def params(self) -> np.ndarray:
         if self._params is None:
             self._params = np.asarray(self._rows, dtype=np.float64).reshape(
-                len(self._rows), 6
+                len(self._rows), 7
             )
         return self._params
 
@@ -528,7 +562,298 @@ class SoAKernel:
         self.compute_delays()
         self.propagate(0 if sources_dirty else min_level)
 
+    # -- batched trial evaluation ---------------------------------------------
+
+    def _seq_position(self, ci: int) -> int | None:
+        """Position of cell ``ci`` within the seq endpoint arrays, if any."""
+        if self._seq_pos is None:
+            self._seq_pos = {
+                int(c): i for i, c in enumerate(self.s.seq_cells.tolist())
+            }
+        return self._seq_pos.get(ci)
+
+    def _pi_position(self, ni: int) -> int | None:
+        """Position of net ``ni`` within the launch-point arrays, if any."""
+        if self._pi_pos is None:
+            self._pi_pos = {
+                int(n): i for i, n in enumerate(self.pi_launch.tolist())
+            }
+        return self._pi_pos.get(ni)
+
+    def _level_position(self, ci: int) -> tuple[int, int]:
+        """``(level, position within that level)`` for comb cell ``ci``."""
+        if self._lvl_pos is None:
+            self._lvl_pos = {}
+            for li, lvl in enumerate(self.s.levels):
+                for pos, c in enumerate(lvl.cells.tolist()):
+                    self._lvl_pos[int(c)] = (li, pos)
+        return self._lvl_pos[ci]
+
+    def _reader_min_level(self) -> np.ndarray:
+        """Per net, the lowest level with a cell reading it (else #levels)."""
+        if self._reader_min is None:
+            s = self.s
+            rm = np.full(s.num_nets, len(s.levels), dtype=np.intp)
+            for li in range(len(s.levels) - 1, -1, -1):
+                rm[s.levels[li].in_net] = li
+            self._reader_min = rm
+        return self._reader_min
+
+    @staticmethod
+    def _normalize_trials(trials) -> list[list[tuple[str, str]]]:
+        """Each lane as a list of ``(cell, lib_cell)`` rebinds."""
+        lanes = []
+        for lane in trials:
+            if isinstance(lane[0], str):
+                lanes.append([lane])
+            else:
+                lanes.append(list(lane))
+        return lanes
+
+    def trial_cps_batch(self, trials) -> list[float]:
+        """CPS verdicts for hypothetical cell rebinds, no mutation.
+
+        ``trials`` is a sequence of lanes; each lane is one
+        ``(cell_name, lib_cell_name)`` pair or a list of such pairs
+        (a grouped rebind, evaluated as if all of them were committed
+        together).  Every lane is evaluated against the *committed*
+        arrays: loads of the rebound cells' input/clock nets are
+        re-accumulated over their pair segments in bincount order,
+        dirtied delays and launch arrivals are patched with the scalar
+        forms of the committed expressions, and arrivals re-propagate as
+        2-D per-level kernels restricted to the union dirty cone of the
+        batch (a 1-D boolean sweep finds it; the workspace starts as a
+        copy of the committed arrivals, so anything outside the cone
+        already holds its exact committed value, and a cone cell that is
+        clean in some lane recomputes to the identical value there).
+        The returned values are bit-identical to committing each lane
+        alone and reading ``analyze().cps`` — same expressions, same
+        operands, same accumulation order — but neither the netlist nor
+        the committed kernel state is touched, so rejected candidates
+        cost no revert.
+        """
+        if self.arrivals is None:
+            self.run_full()
+        s = self.s
+        lanes = self._normalize_trials(trials)
+        k = len(lanes)
+        perf.incr("sta.trial", k)
+        perf.incr("sta.trial_batch")
+        cells = self.netlist.cells
+        nets = self.netlist.nets
+        resolved: list[dict[int, int]] = []  # per lane: cell index -> new row
+        for lane in lanes:
+            rows_map = {}
+            for name, lib_name in lane:
+                ci = s.cell_index[name]
+                rows_map[ci] = self._row_for_binding(cells[name].gate, lib_name)
+            resolved.append(rows_map)
+        params = self.params  # after row resolution: may have appended rows
+        caps = params[:, _CAP]
+        with perf.timer("sta.kernel"):
+            arrivals2 = np.repeat(self.arrivals[None, :], k, axis=0)
+            net_dirty = np.zeros(s.num_nets, dtype=bool)
+            forced = np.zeros(s.num_cells, dtype=bool)
+            # comb-delay patches grouped by level: {li: [(t, pos, delay)]}
+            patches: dict[int, list[tuple[int, int, float]]] = {}
+            setup_patches: list[tuple[int, int, int]] = []  # (t, seq pos, row)
+            pair_cell, pair_pins, pair_ptr = s.pair_cell, s.pair_pins, s.pair_ptr
+            c = self.constraints
+            reader_min = self._reader_min_level()
+            start_level = len(s.levels)
+            for t, rows_map in enumerate(resolved):
+                lane_loads: dict[int, float] = {}
+                dirty_cells = set(rows_map)
+                for ci in rows_map:
+                    cell = cells[s.cell_names[ci]]
+                    affected = list(cell.inputs)
+                    clock = cell.attrs.get("clock")
+                    if clock is not None:
+                        affected.append(clock)
+                    for net_in in affected:
+                        ni = s.net_index[net_in]
+                        if ni in lane_loads:
+                            continue
+                        # Exact per-net load: accumulate the pair segment in
+                        # the order bincount adds it, swapping in trial caps.
+                        # cumsum is a strict left-to-right float64 fold, so
+                        # its final element is bit-identical to bincount's
+                        # per-bin accumulation over the same segment.
+                        a, b = int(pair_ptr[ni]), int(pair_ptr[ni + 1])
+                        seg_cells = pair_cell[a:b]
+                        seg_rows = self.cell_row[seg_cells]
+                        for pc, row in rows_map.items():
+                            hits = np.flatnonzero(seg_cells == pc)
+                            if hits.size:
+                                seg_rows = seg_rows.copy()
+                                seg_rows[hits] = row
+                        weights = pair_pins[a:b] * caps[seg_rows]
+                        pin_cap = (
+                            float(np.cumsum(weights)[-1]) if b > a else 0.0
+                        )
+                        lane_loads[ni] = (
+                            (pin_cap + s.ext_cap[ni]) + self._wire_cap[ni]
+                        )
+                        driver = nets[net_in].driver
+                        if driver is None:
+                            # PI arrival depends on the net load.
+                            pos = self._pi_position(ni)
+                            if pos is not None:
+                                arrivals2[t, ni] = (
+                                    self._pi_offsets[pos]
+                                    + c.input_drive_res
+                                    * lane_loads[ni] / 1000.0
+                                )
+                                net_dirty[ni] = True
+                                start_level = min(
+                                    start_level, int(reader_min[ni])
+                                )
+                            continue
+                        di = s.cell_index[driver]
+                        if not s.cell_is_const[di]:
+                            # Const outputs launch at 0.0 regardless of load.
+                            dirty_cells.add(int(di))
+                for dc in dirty_cells:
+                    if s.cell_is_const[dc]:
+                        continue
+                    row = rows_map.get(dc)
+                    if row is None:
+                        row = int(self.cell_row[dc])
+                    out = int(s.cell_out[dc])
+                    load = lane_loads.get(out)
+                    if load is None:
+                        load = float(self.loads[out])
+                    d = params[row, _BASE] + params[row, _RES] * load / 1000.0
+                    if s.cell_is_seq[dc]:
+                        # Launch arrival of the register output is clk-to-q.
+                        arrivals2[t, out] = d
+                        net_dirty[out] = True
+                        start_level = min(start_level, int(reader_min[out]))
+                    else:
+                        li, pos = self._level_position(dc)
+                        patches.setdefault(li, []).append((t, pos, d))
+                        forced[dc] = True
+                        start_level = min(start_level, li)
+                for ci, row in rows_map.items():
+                    pos = self._seq_position(ci)
+                    if pos is not None:
+                        setup_patches.append((t, pos, row))
+            # 1-D boolean sweep finds each level's dirty cells, then a 2-D
+            # kernel recomputes just those columns; everything else keeps
+            # its committed value from the workspace copy.  Levels before
+            # the first possible reader of a dirtied launch point (or the
+            # first forced cell) cannot change and are skipped outright.
+            for li in range(start_level, len(s.levels)):
+                lvl = s.levels[li]
+                # Cheap pre-check: most levels outside the cone see no
+                # dirty inputs (and forced cells only exist at patch
+                # levels), so skip before paying the per-cell reduceat.
+                flags = net_dirty[lvl.in_net]
+                lvl_patches = patches.get(li)
+                if lvl_patches is None and not flags.any():
+                    continue
+                dirty = np.logical_or.reduceat(flags, lvl.in_ptr[:-1])
+                if lvl_patches is not None:
+                    dirty |= forced[lvl.cells]
+                if not dirty.any():
+                    continue
+                idx = None
+                nd = int(np.count_nonzero(dirty))
+                if nd * 4 >= dirty.size or dirty.size <= 48:
+                    # Dense or small level: recompute every column with one
+                    # reduceat.  Clean columns see only committed inputs and
+                    # committed delays, so they reproduce the committed
+                    # arrival bit-for-bit — over-computing is free parity-
+                    # wise and skips the gather construction below.  Only
+                    # truly dirty outputs propagate dirtiness.
+                    sub_in_net = lvl.in_net
+                    sub_ptr = lvl.in_ptr[:-1]
+                    sub_out = lvl.out
+                    sub_cells = lvl.cells
+                    dirty_out = lvl.out if nd == dirty.size else lvl.out[dirty]
+                else:
+                    idx = np.flatnonzero(dirty)
+                    starts = lvl.in_ptr[idx]
+                    counts = lvl.in_ptr[idx + 1] - starts
+                    sub_ptr = np.cumsum(counts) - counts
+                    gather = (
+                        np.repeat(starts - sub_ptr, counts)
+                        + np.arange(int(counts.sum()))
+                    )
+                    sub_in_net = lvl.in_net[gather]
+                    sub_out = lvl.out[idx]
+                    sub_cells = lvl.cells[idx]
+                    dirty_out = sub_out
+                worst = np.maximum.reduceat(
+                    arrivals2[:, sub_in_net], sub_ptr, axis=1
+                )
+                out2 = worst + self.delay[sub_cells][None, :]
+                if lvl_patches:
+                    for t, pos, d in lvl_patches:
+                        j = (
+                            pos if idx is None
+                            else int(np.searchsorted(idx, pos))
+                        )
+                        out2[t, j] = worst[t, j] + d
+                arrivals2[:, sub_out] = out2
+                net_dirty[dirty_out] = True
+            # endpoint reduction: exact min over PO + register slacks
+            period = c.effective_period
+            worst2 = np.full(k, np.inf)
+            if len(s.po_nets):
+                po_slack2 = (
+                    (period - self._po_margin)[None, :]
+                    - arrivals2[:, s.po_nets]
+                )
+                worst2 = po_slack2.min(axis=1)
+            if len(s.seq_cells):
+                reg_req = period - params[:, _SETUP][self.cell_row[s.seq_cells]]
+                reg_slack2 = reg_req[None, :] - arrivals2[:, s.seq_d]
+                for t, pos, row in setup_patches:
+                    reg_slack2[t, pos] = (
+                        (period - params[row, _SETUP])
+                        - arrivals2[t, s.seq_d[pos]]
+                    )
+                worst2 = np.minimum(worst2, reg_slack2.min(axis=1))
+        if not len(s.po_nets) and not len(s.seq_cells):
+            return [0.0] * k
+        return [round(float(w), 4) for w in worst2]
+
     # -- reductions ----------------------------------------------------------
+
+    def committed_cps(self) -> float:
+        """Worst endpoint slack over the committed arrays, report-rounded.
+
+        Bit-identical to ``TimingReport.cps`` from :meth:`TimingEngine.
+        analyze` — the same slack values feed the same exact ``min`` and
+        the same ``round(..., 4)`` — without materializing the endpoint
+        dictionaries.
+        """
+        s = self.s
+        period = self.constraints.effective_period
+        worst = None
+        if len(s.po_nets):
+            worst = ((period - self._po_margin) - self.arrivals[s.po_nets]).min()
+        if len(s.seq_cells):
+            reg_req = period - self.params[:, _SETUP][self.cell_row[s.seq_cells]]
+            reg_worst = (reg_req - self.arrivals[s.seq_d]).min()
+            worst = reg_worst if worst is None else min(worst, reg_worst)
+        if worst is None:
+            return 0.0
+        return round(float(worst), 4)
+
+    def committed_area(self) -> float:
+        """Total cell area under the committed bindings.
+
+        Bit-identical to the scalar engine's Python fold over netlist
+        order: ``cumsum`` is a strict left-to-right float64 accumulation,
+        cells appear in insertion order, and const rows carry area 0.0
+        (adding exact ``+0.0`` terms where the scalar fold skips).
+        """
+        areas = self.params[:, _AREA][self.cell_row]
+        if not areas.size:
+            return 0.0
+        return float(np.cumsum(areas)[-1])
 
     def endpoint_arrays(self):
         """Endpoint slacks/required in scalar construction order.

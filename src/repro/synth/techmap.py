@@ -14,6 +14,7 @@ to a fixpoint.
 
 from __future__ import annotations
 
+from .. import perf
 from ..hdl.netlist import Netlist
 from .library import TechLibrary
 
@@ -140,8 +141,22 @@ def remove_buffers(
 
 
 def propagate_constants(netlist: Netlist) -> int:
-    """Fold gates fed by CONST0/CONST1 drivers.  Iterates to fixpoint."""
+    """Fold gates fed by CONST0/CONST1 drivers.  Iterates to fixpoint.
+
+    Visits are worklist-driven: only cells with a constant-driven input or
+    tied-together input pins can fold, and a cell only *becomes* foldable
+    when a fold rewires one of its inputs — so the pending set is seeded
+    from the constant drivers and refilled with the rewired readers of
+    each fold.  The per-sweep walk still follows ``netlist.cells``
+    insertion order, checking live pending membership, which reproduces
+    the fold sequence of the original full rescan exactly (a rescan's
+    visit to a non-pending cell was always a no-op): identical folds in
+    identical order, hence identical generated net/cell names.  The
+    number of cells actually visited lands on the
+    ``techmap.const_cells_visited`` perf counter.
+    """
     folded = 0
+    visits = 0
     const_net = {}
     for cell in netlist.cells.values():
         if cell.gate == "CONST0":
@@ -166,15 +181,27 @@ def propagate_constants(netlist: Netlist) -> int:
             const_net[value] = net.name
         return const_net[value]
 
+    pending: set[str] = set()
+    for name, cell in netlist.cells.items():
+        if cell.gate in ("CONST0", "CONST1", "DFF"):
+            continue
+        if len(cell.inputs) == 2 and cell.inputs[0] == cell.inputs[1]:
+            pending.add(name)
+        elif any(value_of(n) is not None for n in cell.inputs):
+            pending.add(name)
     changed = True
-    while changed:
+    while changed and pending:
         changed = False
         for name in list(netlist.cells):
+            if name not in pending:
+                continue
+            pending.discard(name)
             cell = netlist.cells.get(name)
             if cell is None or cell.gate in ("CONST0", "CONST1", "DFF"):
                 continue
             if cell.attrs.get("port_tie"):
                 continue  # constant tie driving a port: already final
+            visits += 1
             vals = [value_of(n) for n in cell.inputs]
             same = len(cell.inputs) == 2 and cell.inputs[0] == cell.inputs[1]
             result = _fold(cell.gate, vals, same_inputs=same)
@@ -199,6 +226,9 @@ def propagate_constants(netlist: Netlist) -> int:
                 folded += 1
                 changed = True
                 continue
+            # Readers about to be rewired may become foldable; queue them
+            # before the rewire detaches them from this net.
+            readers = list(netlist.nets[out].sinks)
             netlist.remove_cell(name)
             if kind == "const":
                 source = ensure_const(payload)
@@ -209,8 +239,10 @@ def propagate_constants(netlist: Netlist) -> int:
                 netlist.add_cell("NOT", [pass_net], inv_net.name)
                 source = inv_net.name
             _replace_net_everywhere(netlist, out, source)
+            pending.update(readers)
             folded += 1
             changed = True
+    perf.incr("techmap.const_cells_visited", visits)
     return folded
 
 

@@ -135,6 +135,9 @@ class TimingEngine:
         self._cursor: int | None = None
         self._pending_resizes: set[str] = set()
         self._env_sig: tuple | None = None
+        # trial evaluations fold resizes into the vector kernel without
+        # materializing the endpoint dicts; analyze() refreshes them lazily
+        self._endpoints_stale = False
         # vectorized (structure-of-arrays) analysis state; the mode is
         # latched at construction so one engine never mixes kernels
         self._use_vector = soa.vector_sta_enabled()
@@ -229,6 +232,7 @@ class TimingEngine:
         self._topo_index = {}
         self._pending_resizes.clear()
         self._kernel = None
+        self._endpoints_stale = False
 
     def _sync(self) -> None:
         """Fold journal events (and environment changes) into the caches."""
@@ -308,6 +312,10 @@ class TimingEngine:
                     self._materialize_endpoints()
             else:
                 perf.incr("sta.cached")
+                if self._endpoints_stale:
+                    # a trial_cps() folded resizes into the kernel arrays;
+                    # only the report dicts need refreshing
+                    self._materialize_endpoints()
             return self._build_report(with_paths)
         if self._arrivals is None:
             perf.incr("sta.full")
@@ -448,6 +456,7 @@ class TimingEngine:
         self._ep_slack = ep_slack
         self._ep_required = ep_required
         self._ep_net = ep_net
+        self._endpoints_stale = False
 
     def _vector_pred(self, net_name: str) -> tuple[str, str] | None:
         """Lazy predecessor lookup over kernel arrivals for path tracing.
@@ -496,6 +505,85 @@ class TimingEngine:
             arrival=kernel.arrival_of(end_net),
             required=required,
         )
+
+    # -- trial evaluation ----------------------------------------------------------
+
+    def trial_cps(self) -> float:
+        """Worst endpoint slack after folding pending resizes — no report.
+
+        Bit-identical to ``analyze(with_paths=False).cps``, but skips
+        endpoint-dict materialization, report assembly and path tracing:
+        the per-trial hot path of the optimization passes.  In vector mode
+        the verdict is a single array reduction; the next ``analyze()``
+        refreshes the endpoint dicts from the (already current) kernel.
+        """
+        self._sync()
+        if self._use_vector:
+            if self._kernel is None:
+                perf.incr("sta.full")
+                self._vector_rebuild()
+            elif self._pending_resizes:
+                resized = self._pending_resizes
+                self._pending_resizes = set()
+                perf.incr("sta.incremental")
+                self._kernel.update_resizes(resized)
+                self._endpoints_stale = True
+            else:
+                perf.incr("sta.cached")
+            return self._kernel.committed_cps()
+        if self._arrivals is None:
+            perf.incr("sta.full")
+            self._full_rebuild()
+        elif self._pending_resizes:
+            perf.incr("sta.incremental")
+            self._incremental_update(self._pending_resizes)
+            self._pending_resizes = set()
+        else:
+            perf.incr("sta.cached")
+        if not self._ep_slack:
+            return 0.0
+        return round(min(self._ep_slack.values()), 4)
+
+    def trial_cps_batch(self, trials) -> list[float]:
+        """CPS verdicts for hypothetical cell rebinds.
+
+        ``trials`` is a sequence of lanes, each one
+        ``(cell_name, lib_cell_name)`` pair or a list of such pairs (a
+        grouped rebind evaluated as if committed together), evaluated
+        independently against the current committed state.  In vector
+        mode the whole batch runs as one 2-D kernel sweep with no side
+        effects on the netlist or the committed arrays; the scalar engine
+        falls back to journal-driven apply/evaluate/revert.  Either way
+        entry ``i`` is bit-identical to rebinding ``trials[i]`` alone and
+        reading ``analyze(with_paths=False).cps``.
+        """
+        if not trials:
+            return []
+        self._sync()
+        if self._use_vector:
+            if self._kernel is None:
+                perf.incr("sta.full")
+                self._vector_rebuild()
+            elif self._pending_resizes:
+                resized = self._pending_resizes
+                self._pending_resizes = set()
+                perf.incr("sta.incremental")
+                self._kernel.update_resizes(resized)
+                self._endpoints_stale = True
+            return self._kernel.trial_cps_batch(trials)
+        cells = self.netlist.cells
+        results: list[float] = []
+        for lane in trials:
+            perf.incr("sta.trial")
+            rebinds = [lane] if isinstance(lane[0], str) else list(lane)
+            previous = [(cells[name], cells[name].lib_cell) for name, _ in rebinds]
+            for name, lib_name in rebinds:
+                cells[name].lib_cell = lib_name
+            results.append(self.trial_cps())
+            # the reverts are journaled and folded into the next evaluation
+            for cell, prev in previous:
+                cell.lib_cell = prev
+        return results
 
     # -- incremental propagation ---------------------------------------------------
 
@@ -616,6 +704,7 @@ class TimingEngine:
     # -- report assembly -----------------------------------------------------------
 
     def _build_report(self, with_paths: bool) -> TimingReport:
+        perf.incr("sta.report")
         endpoint_slacks = self._ep_slack
         if not endpoint_slacks:
             return TimingReport(
@@ -687,6 +776,15 @@ class TimingEngine:
 
     def total_area(self) -> float:
         self._sync()
+        # Serve from the kernel's binding rows when they are current: one
+        # array gather instead of a Python fold over every cell.  The
+        # kernel fold is bit-identical to the scalar sum below.
+        if (
+            self._use_vector
+            and self._kernel is not None
+            and not self._pending_resizes
+        ):
+            return self._kernel.committed_area()
         return sum(
             self._bound_of(c).area
             for c in self.netlist.cells.values()
