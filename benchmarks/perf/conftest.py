@@ -31,4 +31,13 @@ def pytest_sessionfinish(session, exitstatus):
     if not RESULTS:
         return
     path = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
-    path.write_text(json.dumps(RESULTS, indent=2, sort_keys=True) + "\n")
+    # Merge over any existing sections so a partial run (one benchmark
+    # file in CI) refreshes its own sections without dropping the rest.
+    merged: dict[str, dict] = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            merged = {}
+    merged.update(RESULTS)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,96 @@
+"""Thread vs process backend on the full-corpus Table III run.
+
+Acceptance (ISSUE 6): the warm process pool with shared-memory transport
+and work stealing delivers >= 2.5x wall-clock over the GIL-bound thread
+backend at 4+ workers, with **bit-identical** Table III results out of
+both backends.  The speedup assertion is CPU-gated: on boxes with fewer
+than 4 cores the process backend cannot physically fan out (its workers
+time-slice one core and pay the transport overhead on top), so only the
+equivalence contract is asserted there — the measured numbers are still
+recorded in the ``parallel_process`` section of BENCH_perf.json.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro import perf
+from repro.designs import benchmark_names
+from repro.designs.database import build_default_database
+from repro.eval.harness import run_table3_customization
+from repro.parallel import shutdown_pools, sync_worker_perf
+from repro.synth.cache import clear_caches
+
+K = 3
+MIN_WORKERS = 4
+SPEEDUP_FLOOR = 2.5
+
+
+@pytest.fixture(scope="module")
+def small_database():
+    return build_default_database(variants_per_family=1)
+
+
+def test_process_backend_full_corpus_table3(bench_results, small_database, monkeypatch):
+    designs = benchmark_names()
+    cpus = os.cpu_count() or 1
+    workers = max(2, min(8, cpus))
+
+    def run(backend: str):
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", backend)
+        monkeypatch.setenv("REPRO_SYNTH_CACHE", "1")
+        clear_caches()
+        start = time.perf_counter()
+        table = run_table3_customization(
+            database=small_database, designs=designs, k=K, jobs=workers
+        )
+        return time.perf_counter() - start, table
+
+    thread_s, via_thread = run("thread")
+    process_s, via_process = run("process")
+    sync_worker_perf()
+    shutdown_pools()
+
+    # Per-cell pickles: aggregate dumps differ only by pickle's shared-
+    # object memoization (the thread run reuses cached QoRSnapshot
+    # instances across cells; process results unpickle as fresh objects),
+    # which is an encoding artifact, not a value difference.
+    assert via_process.models.keys() == via_thread.models.keys()
+    for model in via_thread.models:
+        assert via_process.models[model].keys() == via_thread.models[model].keys()
+        for design in via_thread.models[model]:
+            assert pickle.dumps(via_process.models[model][design]) == pickle.dumps(
+                via_thread.models[model][design]
+            ), f"cell ({model}, {design}) differs across backends"
+    for design in via_thread.baseline:
+        assert pickle.dumps(via_process.baseline[design]) == pickle.dumps(
+            via_thread.baseline[design]
+        ), f"baseline row {design} differs across backends"
+
+    speedup = thread_s / process_s
+    counters = perf.snapshot()["counters"]
+    bench_results["parallel_process"] = {
+        "designs": designs,
+        "k": K,
+        "cpus": cpus,
+        "workers": workers,
+        "thread_s": round(thread_s, 6),
+        "process_s": round(process_s, 6),
+        "speedup": round(speedup, 2),
+        "bit_identical": True,
+        "steals": counters.get("parallel.steals", 0),
+        "stolen_tasks": counters.get("parallel.stolen_tasks", 0),
+        "shm_segments": counters.get("parallel.shm_segments", 0),
+        "shm_bytes": counters.get("parallel.shm_bytes", 0),
+        "workers_spawned": counters.get("parallel.workers_spawned", 0),
+        "speedup_asserted": cpus >= MIN_WORKERS,
+    }
+    if cpus >= MIN_WORKERS and workers >= MIN_WORKERS:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"process backend speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x "
+            f"at {workers} workers on {cpus} cores"
+        )

@@ -39,6 +39,8 @@ def test_synthesis_cache_speedup(bench_results):
         "entries": len(DESIGNS),
         "hits": len(DESIGNS),
         "misses": len(DESIGNS),
+        "disk_hits": 0,
+        "disk_writes": 0,
     }
     speedup = cold_s / warm_s
     bench_results["synth_cache"] = {

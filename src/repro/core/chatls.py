@@ -20,7 +20,14 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..designs.database import ExpertDatabase
-from ..parallel import parallel_map
+from ..parallel import (
+    SharedRef,
+    effective_backend,
+    parallel_map,
+    release_shared,
+    resolve_shared,
+    shared,
+)
 from ..llm.base import LLMClient
 from ..llm.baselines import chatls_core
 from ..mentor.analyzer import DesignAnalysis, analyze_design
@@ -295,20 +302,25 @@ class ChatLS:
             prepared, analysis, rag = self._prepare(
                 verilog, design_name, requirement, top, clock_period
             )
-
-            def sample(seed: int) -> CustomizationResult:
-                result = self._draft_and_refine(
-                    prepared, analysis, rag, baseline_script, tool_report, seed
+            # The per-seed context (pipeline + analysis + retrieval) is
+            # identical across samples: broadcast it once so the process
+            # backend ships a ref per seed instead of megabytes each.
+            ctx_ref = shared(
+                (self, prepared, analysis, rag, verilog, design_name,
+                 baseline_script, tool_report, top),
+                backend=effective_backend(jobs=jobs, items=k),
+            )
+            cost = len(verilog)
+            try:
+                results = parallel_map(
+                    _pass_at_k_sample,
+                    [(ctx_ref, seed) for seed in range(k)],
+                    jobs=jobs,
+                    label="pass-at-k",
+                    cost=lambda task: cost,
                 )
-                run = synthesize_cached(
-                    self.library, design_name, verilog, result.script, top=top
-                )
-                result.executable = run.success
-                result.error = run.error
-                result.qor = run.qor
-                return result
-
-            results = parallel_map(sample, range(k), jobs=jobs, label="pass-at-k")
+            finally:
+                release_shared(ctx_ref)
             best: CustomizationResult | None = None
             for result in results:
                 if not result.executable or result.qor is None:
@@ -329,6 +341,27 @@ class ChatLS:
                 executable=best.executable,
             )
             return best
+
+
+def _pass_at_k_sample(task: tuple[SharedRef, int]) -> CustomizationResult:
+    """One seeded pass@k sample (module-level so it crosses processes).
+
+    The shared ref carries the full per-design context built once by
+    :meth:`ChatLS.customize_pass_at_k`; only the seed varies per task.
+    """
+    ctx_ref, seed = task
+    (chatls, prepared, analysis, rag, verilog, design_name,
+     baseline_script, tool_report, top) = resolve_shared(ctx_ref)
+    result = chatls._draft_and_refine(
+        prepared, analysis, rag, baseline_script, tool_report, seed
+    )
+    run = synthesize_cached(
+        chatls.library, design_name, verilog, result.script, top=top
+    )
+    result.executable = run.success
+    result.error = run.error
+    result.qor = run.qor
+    return result
 
 
 def _extend_script(script: str) -> str:

@@ -7,6 +7,8 @@ paper's qualitative shape.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,7 +25,14 @@ from ..rag.retrievers import EmbeddingRetriever, ManualRetriever
 from ..synth.cache import synthesize_cached
 from ..synth.reports import QoRSnapshot
 from .metrics import RetrievalScore, mean_f1, precision_recall_f1
-from ..parallel import parallel_map
+from ..parallel import (
+    SharedRef,
+    effective_backend,
+    parallel_map,
+    release_shared,
+    resolve_shared,
+    shared,
+)
 from .tables import render_series, render_table
 
 __all__ = [
@@ -56,6 +65,17 @@ def baseline_script(bench: Benchmark, wireload: str = "5K_heavy_1k") -> str:
     )
 
 
+def _design_cost(name: str) -> float:
+    """Cheap per-design cost estimate (gate-count proxy) for scheduling.
+
+    RTL source size tracks elaborated gate count closely across the
+    OpenCores set and costs nothing to compute; the work-stealing
+    scheduler only uses it to shape initial placement, so precision does
+    not affect results.
+    """
+    return float(len(get_benchmark(name).verilog))
+
+
 # -- Table IV -----------------------------------------------------------------
 
 
@@ -76,30 +96,35 @@ class Table4Result:
         )
 
 
+def _table4_synthesize(name: str) -> tuple[str, QoRSnapshot, str]:
+    """One Table IV cell (module-level so process workers can run it)."""
+    bench = get_benchmark(name)
+    run = synthesize_cached(
+        None, bench.name, bench.verilog, baseline_script(bench), top=bench.top
+    )
+    if not run.success:
+        raise RuntimeError(f"baseline failed for {name}: {run.error}")
+    report = next(out for line, out in run.transcript if line == "report_qor")
+    return name, run.qor, report
+
+
 def run_table4_baseline(
     designs: list[str] | None = None, jobs: int | None = None
 ) -> Table4Result:
     """Synthesize every benchmark with the baseline script.
 
     Designs are independent, so they run through the parallel executor
-    (``jobs=None`` honours ``REPRO_JOBS``); identical re-runs are served
-    from the synthesis cache.
+    (``jobs=None`` honours ``REPRO_JOBS``, ``REPRO_PARALLEL_BACKEND``
+    picks threads or the warm process pool); identical re-runs are
+    served from the synthesis cache.
     """
     names = list(designs or benchmark_names())
-
-    def synthesize(name: str) -> tuple[str, QoRSnapshot, str]:
-        bench = get_benchmark(name)
-        run = synthesize_cached(
-            None, bench.name, bench.verilog, baseline_script(bench), top=bench.top
-        )
-        if not run.success:
-            raise RuntimeError(f"baseline failed for {name}: {run.error}")
-        report = next(out for line, out in run.transcript if line == "report_qor")
-        return name, run.qor, report
-
     result = Table4Result()
     with obs.span("eval.table4", designs=len(names)):
-        for name, qor, report in parallel_map(synthesize, names, jobs=jobs):
+        for name, qor, report in parallel_map(
+            _table4_synthesize, names, jobs=jobs, label="table4",
+            cost=_design_cost,
+        ):
             result.rows[name] = qor
             result.reports[name] = report
     return result
@@ -134,6 +159,76 @@ class Table3Result:
         )
 
 
+#: Table III model columns in render order.
+_TABLE3_MODELS = ("GPT-4o", "Claude-3.5", "ChatLS")
+
+#: Per-process runtime for Table III cells, memoized by database ref
+#: token: the thread backend reuses one ChatLS/runner set exactly as
+#: before, and each process-pool worker builds its own once per
+#: broadcast database instead of once per cell.
+_CELL_RUNTIMES: OrderedDict[str, dict] = OrderedDict()
+_CELL_RUNTIMES_LOCK = threading.Lock()
+_CELL_RUNTIMES_CAP = 4
+
+
+def _cell_runtime(db_ref: SharedRef) -> dict:
+    with _CELL_RUNTIMES_LOCK:
+        runtime = _CELL_RUNTIMES.get(db_ref.token)
+        if runtime is not None:
+            _CELL_RUNTIMES.move_to_end(db_ref.token)
+            return runtime
+    database = resolve_shared(db_ref)
+    runtime = {
+        "chatls": ChatLS(database),
+        "runners": {
+            "GPT-4o": BaselineRunner(gpt4o()),
+            "Claude-3.5": BaselineRunner(claude35()),
+        },
+    }
+    with _CELL_RUNTIMES_LOCK:
+        runtime = _CELL_RUNTIMES.setdefault(db_ref.token, runtime)
+        _CELL_RUNTIMES.move_to_end(db_ref.token)
+        while len(_CELL_RUNTIMES) > _CELL_RUNTIMES_CAP:
+            _CELL_RUNTIMES.popitem(last=False)
+    return runtime
+
+
+def _table3_cell(task: tuple) -> QoRSnapshot | None:
+    """One (model, design) Table III cell (module-level, process-safe).
+
+    The database and the Table IV report map arrive as shared refs:
+    resolved in place under the thread backend, through the pool's
+    shared-memory store (once per worker process) under the process
+    backend.
+    """
+    model_name, design, k, db_ref, reports_ref = task
+    runtime = _cell_runtime(db_ref)
+    reports = resolve_shared(reports_ref)
+    with obs.span("eval.cell", model=model_name, design=design) as sp:
+        bench = get_benchmark(design)
+        script = baseline_script(bench)
+        report = reports[design]
+        if model_name == "ChatLS":
+            run = runtime["chatls"].customize_pass_at_k(
+                bench.verilog, bench.name, script, TIMING_REQUIREMENT,
+                k=k, tool_report=report, top=bench.top,
+                clock_period=bench.clock_period,
+            )
+        else:
+            run = runtime["runners"][model_name].run_pass_at_k(
+                bench.verilog, bench.name, script, TIMING_REQUIREMENT,
+                k=k, tool_report=report, top=bench.top,
+            )
+        sp.set_attribute("executable", run.qor is not None)
+        return run.qor
+
+
+def _table3_cost(task: tuple) -> float:
+    """Cell cost estimate: design size, weighted up for the full pipeline."""
+    model_name, design = task[0], task[1]
+    return _design_cost(design) * (2.0 if model_name == "ChatLS" else 1.0)
+
+
 def run_table3_customization(
     database: ExpertDatabase | None = None,
     designs: list[str] | None = None,
@@ -147,7 +242,8 @@ def run_table3_customization(
     netlists/reports are reused instead of re-synthesizing every design a
     second time.  The (design, model) cells are independent and fan out
     through the parallel executor; results are assembled in deterministic
-    design/model order regardless of completion order.
+    design/model order regardless of completion order, and are bit-
+    identical across the thread and process backends.
     """
     database = database or build_default_database(variants_per_family=1)
     names = list(designs or benchmark_names())
@@ -156,40 +252,33 @@ def run_table3_customization(
     if missing:
         raise ValueError(f"baseline result lacks designs: {missing}")
     result = Table3Result(baseline={n: table4.rows[n] for n in names})
-    runners = {
-        "GPT-4o": BaselineRunner(gpt4o()),
-        "Claude-3.5": BaselineRunner(claude35()),
-    }
-    chatls = ChatLS(database)
-    model_names = list(runners) + ["ChatLS"]
+    model_names = list(_TABLE3_MODELS)
     result.models = {name: {} for name in model_names}
 
-    def evaluate(task: tuple[str, str]) -> QoRSnapshot | None:
-        model_name, design = task
-        with obs.span("eval.cell", model=model_name, design=design) as sp:
-            bench = get_benchmark(design)
-            script = baseline_script(bench)
-            report = table4.reports[design]
-            if model_name == "ChatLS":
-                run = chatls.customize_pass_at_k(
-                    bench.verilog, bench.name, script, TIMING_REQUIREMENT,
-                    k=k, tool_report=report, top=bench.top,
-                    clock_period=bench.clock_period,
-                )
-            else:
-                run = runners[model_name].run_pass_at_k(
-                    bench.verilog, bench.name, script, TIMING_REQUIREMENT,
-                    k=k, tool_report=report, top=bench.top,
-                )
-            sp.set_attribute("executable", run.qor is not None)
-            return run.qor
-
-    tasks = [(model, design) for design in names for model in model_names]
-    with obs.span("eval.table3", designs=len(names), models=len(model_names), k=k):
-        for (model_name, design), qor in zip(
-            tasks, parallel_map(evaluate, tasks, jobs=jobs)
+    n_tasks = len(names) * len(model_names)
+    backend = effective_backend(jobs=jobs, items=n_tasks)
+    db_ref = shared(database, backend=backend)
+    reports_ref = shared(table4.reports, backend=backend)
+    tasks = [
+        (model, design, k, db_ref, reports_ref)
+        for design in names
+        for model in model_names
+    ]
+    try:
+        with obs.span(
+            "eval.table3", designs=len(names), models=len(model_names), k=k
         ):
-            result.models[model_name][design] = qor
+            for task, qor in zip(
+                tasks,
+                parallel_map(
+                    _table3_cell, tasks, jobs=jobs, label="table3",
+                    cost=_table3_cost,
+                ),
+            ):
+                result.models[task[0]][task[1]] = qor
+    finally:
+        release_shared(db_ref)
+        release_shared(reports_ref)
     return result
 
 

@@ -91,12 +91,18 @@ def main(argv: list[str] | None = None) -> int:
 
     tracer = obs.get_tracer()
     if tracer.enabled and tracer.format == "jsonl":
-        tracer.flush()
-        from ..obs.report import load_events, render_report
+        # Retire any process pools first: workers flush their sidecar
+        # traces on close and their perf registries merge into this
+        # process, so the snapshot below carries the full run.
+        from ..parallel import shutdown_pools
+
+        shutdown_pools()
+        tracer.shutdown()
+        from ..obs.report import load_events_with_sidecars, render_report
 
         print()
         print("=" * 72)
-        print(render_report(load_events(tracer.path)))
+        print(render_report(load_events_with_sidecars(tracer.path)))
     return 0
 
 

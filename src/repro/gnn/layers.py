@@ -46,10 +46,20 @@ def tanh_grad(x: np.ndarray) -> np.ndarray:
     return 1.0 - np.tanh(x) ** 2
 
 
+def linear(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def linear_grad(x: np.ndarray) -> np.ndarray:
+    return np.ones_like(x)
+
+
+# Named functions (not lambdas) so models holding an activation pair stay
+# picklable — the process-backend executor ships encoders to workers.
 _ACTIVATIONS = {
     "relu": (relu, relu_grad),
     "tanh": (tanh, tanh_grad),
-    "linear": (lambda x: x, lambda x: np.ones_like(x)),
+    "linear": (linear, linear_grad),
 }
 
 

@@ -6,21 +6,30 @@ Usage::
 
 Prints a per-stage wall-clock breakdown (total, calls, p50/p95/max
 aggregated by span name), the perf counter summary captured at tracer
-shutdown, and the slowest individual spans.  ``--chrome`` additionally
-converts the trace to Chrome trace-event JSON for Perfetto.
+shutdown, the parallel-execution summary (effective backend/jobs plus
+per-worker queue-wait and steal statistics when the process backend
+ran), and the slowest individual spans.  Worker *sidecar* traces
+(``trace.jsonl.wNN``, written by process-pool workers whose spans
+cannot nest under the parent's — see :mod:`repro.parallel.worker`) are
+merged in automatically; their snapshot records are dropped because the
+workers' perf registries already merge into the parent's at pool
+shutdown.  ``--chrome`` additionally converts the trace to Chrome
+trace-event JSON for Perfetto.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob as globlib
 import json
+import re
 import sys
 from typing import Any, Sequence
 
 from ..eval.tables import render_table
 from .chrome import write_chrome
 
-__all__ = ["load_events", "summarize", "render_report", "main"]
+__all__ = ["load_events", "load_events_with_sidecars", "summarize", "render_report", "main"]
 
 
 def load_events(path: str) -> list[dict]:
@@ -35,6 +44,25 @@ def load_events(path: str) -> list[dict]:
                 events.append(json.loads(line))
             except json.JSONDecodeError as exc:
                 raise ValueError(f"{path}:{lineno}: invalid JSON ({exc})") from exc
+    return events
+
+
+def load_events_with_sidecars(path: str) -> list[dict]:
+    """Load a trace plus any worker sidecar traces (``<path>.wNN``).
+
+    Sidecar snapshot records are dropped: the worker registries merged
+    into the parent's at pool shutdown, so the parent snapshot already
+    holds their counters and keeping both would double-count.
+    """
+    events = load_events(path)
+    for sidecar in sorted(globlib.glob(f"{globlib.escape(path)}.w[0-9][0-9]")):
+        worker = re.search(r"\.w(\d+)$", sidecar).group(1)
+        for record in load_events(sidecar):
+            if record.get("type") == "snapshot":
+                continue
+            if record.get("type") == "span":
+                record["tname"] = f"w{worker}:{record.get('tname', '?')}"
+            events.append(record)
     return events
 
 
@@ -65,10 +93,16 @@ def summarize(events: list[dict]) -> dict[str, Any]:
     }
     counters: dict[str, int] = {}
     caches: dict[str, dict] = {}
+    timers: dict[str, dict] = {}
     for record in events:
         if record.get("type") == "snapshot":
             counters = record.get("perf", {}).get("counters", {})
             caches = record.get("perf", {}).get("caches", {})
+            timers = record.get("perf", {}).get("timers", {})
+    # The parallel stats provider reports through the same provider
+    # channel as the caches but is its own report section.
+    caches = dict(caches)
+    parallel = caches.pop("parallel", None)
     if not counters:
         # No shutdown snapshot (e.g. a truncated trace): reconstruct from
         # the per-span perf deltas of root spans, which contain their
@@ -87,8 +121,39 @@ def summarize(events: list[dict]) -> dict[str, Any]:
         "stages": stages,
         "counters": counters,
         "caches": caches,
+        "parallel": parallel,
+        "workers": _worker_stats(counters, timers),
         "slowest": slowest,
     }
+
+
+def _worker_stats(counters: dict, timers: dict) -> list[dict]:
+    """Per-worker queue-wait/run/steal rows from the merged perf state.
+
+    The scheduler and workers record under ``parallel.<metric>.wNN``
+    keys; after pool shutdown those live in the parent snapshot.
+    """
+    ids: set[str] = set()
+    for key in list(counters) + list(timers):
+        match = re.fullmatch(r"parallel\.[a-z_]+\.w(\d+)", key)
+        if match:
+            ids.add(match.group(1))
+    rows = []
+    for wid in sorted(ids):
+        wait = timers.get(f"parallel.queue_wait.w{wid}", {})
+        run = timers.get(f"parallel.task_run.w{wid}", {})
+        rows.append(
+            {
+                "worker": f"w{wid}",
+                "tasks": counters.get(f"parallel.tasks.w{wid}", 0),
+                "steals": counters.get(f"parallel.steals.w{wid}", 0),
+                "wait_p50_s": wait.get("p50_s", 0.0),
+                "wait_p95_s": wait.get("p95_s", 0.0),
+                "wait_max_s": wait.get("max_s", 0.0),
+                "run_total_s": run.get("total_s", 0.0),
+            }
+        )
+    return rows
 
 
 def render_report(events: list[dict], top: int = 10) -> str:
@@ -134,6 +199,38 @@ def render_report(events: list[dict], top: int = 10) -> str:
                 title="Caches",
             )
         )
+    if summary.get("parallel"):
+        p = summary["parallel"]
+        out.append("")
+        out.append(
+            "Parallel execution: backend={backend} jobs={jobs} tasks={tasks}".format(
+                backend=p.get("backend"), jobs=p.get("jobs"), tasks=p.get("tasks")
+            )
+            + (
+                f"  pools={p['pools']} pool_workers={p.get('pool_workers', 0)}"
+                if p.get("pools")
+                else ""
+            )
+        )
+    if summary.get("workers"):
+        out.append("")
+        out.append(
+            render_table(
+                [
+                    "Worker", "Tasks", "Steals",
+                    "Wait p50 (s)", "Wait p95 (s)", "Wait max (s)", "Run (s)",
+                ],
+                [
+                    [
+                        w["worker"], w["tasks"], w["steals"],
+                        _s(w["wait_p50_s"]), _s(w["wait_p95_s"]),
+                        _s(w["wait_max_s"]), _s(w["run_total_s"]),
+                    ]
+                    for w in summary["workers"]
+                ],
+                title="Process-pool workers (queue wait / steals)",
+            )
+        )
     out.append("")
     slow_rows = [
         [
@@ -171,7 +268,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--chrome", metavar="OUT.json",
                         help="also convert to Chrome trace-event JSON")
     args = parser.parse_args(argv)
-    events = load_events(args.trace)
+    events = load_events_with_sidecars(args.trace)
     if not any(e.get("type") == "span" for e in events):
         print(f"{args.trace}: no spans recorded", file=sys.stderr)
         return 1

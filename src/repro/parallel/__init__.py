@@ -1,0 +1,317 @@
+"""Parallel execution for the evaluation harness.
+
+The Table III/IV harnesses fan out over independent units of work —
+designs, models, pass@k seeds — that share no mutable state.  This
+package provides the one primitive they need, an order-preserving
+:func:`parallel_map`, behind two interchangeable backends:
+
+* ``thread`` (the default) — a :mod:`concurrent.futures` thread pool.
+  Each task runs inside a copy of the **caller's**
+  ``contextvars.Context`` (one fresh copy per task, taken at submit
+  time), so ambient context — in particular the current
+  :mod:`repro.obs` span — survives the thread hop and worker spans nest
+  under the harness span that spawned them.  Threads share the GIL:
+  this backend overlaps I/O and caches, not Python compute.
+* ``process`` — a persistent **warm multiprocessing pool**
+  (:mod:`repro.parallel.pool`): spawned workers pre-load the technology
+  library and the synthesis/eval stack once, then serve pickled tasks
+  over pipes, with large payloads moved through
+  ``multiprocessing.shared_memory`` (:mod:`repro.parallel.shm`) and a
+  work-stealing scheduler (:mod:`repro.parallel.sched`) balancing
+  per-design costs across workers.  This is the backend that scales
+  full-corpus evaluation with core count.
+
+Backend selection, in priority order: explicit ``backend=`` argument,
+the ``REPRO_PARALLEL_BACKEND`` environment variable, then ``thread``.
+The process backend transparently **falls back to threads** when a task
+function or item cannot be pickled (e.g. closure-based fan-outs), so
+``parallel_map``'s contract is backend-independent:
+
+* results are returned in input order regardless of completion order;
+* exceptions propagate as in a serial loop (the lowest failing input
+  index raises; under the process backend the raised object is the
+  unpickled equivalent of the worker's exception);
+* ``jobs=1`` (or ``REPRO_JOBS=1``) forces fully serial execution;
+* inside a process-pool worker, nested ``parallel_map`` calls default
+  to serial (no pools-within-pools) unless ``jobs=`` is explicit.
+
+Job count resolution: explicit ``jobs=`` argument, then ``REPRO_JOBS``,
+then ``os.cpu_count()`` — capped at :data:`DEFAULT_MAX_JOBS` for the
+thread backend only (more GIL-bound threads than that just add
+contention; the process backend happily uses every core).
+
+Use :func:`shared` to broadcast one large read-only object (an expert
+database, a report map) to every task without per-task pickling, and
+:func:`shutdown_pools` to retire warm workers (their perf registries
+merge into this process's on the way out).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import pickle
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from .. import obs, perf
+from .shm import (  # noqa: F401  (re-exported transport API)
+    SharedRef,
+    ShmHandle,
+    release_all_shared,
+    release_shared,
+    resolve_shared,
+    shared,
+)
+
+__all__ = [
+    "DEFAULT_MAX_JOBS",
+    "BACKENDS",
+    "resolve_backend",
+    "resolve_jobs",
+    "effective_backend",
+    "in_worker",
+    "parallel_map",
+    "shared",
+    "resolve_shared",
+    "release_shared",
+    "shutdown_pools",
+    "sync_worker_perf",
+]
+
+#: Upper bound on the default *thread* worker count (override with
+#: REPRO_JOBS).  The process backend is not capped: its workers own
+#: their interpreters, so more cores genuinely mean more throughput.
+DEFAULT_MAX_JOBS = 8
+
+BACKENDS = ("thread", "process")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Sentinel: process backend declined the work (unpicklable fn/items).
+_FALLBACK = object()
+
+#: Last-resolved execution info, surfaced via the ``parallel`` stats
+#: provider so run reports show the effective backend and job count.
+_LAST: dict = {"backend": None, "jobs": None, "tasks": 0}
+
+
+def in_worker() -> bool:
+    """True inside a process-pool worker (set by the worker entry point)."""
+    return os.environ.get("REPRO_PARALLEL_WORKER") == "1"
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Effective backend honouring ``REPRO_PARALLEL_BACKEND``.
+
+    Worker processes always resolve to ``thread``: a worker fanning out
+    into its own process pool would oversubscribe every core with whole
+    pools-within-pools.
+    """
+    if in_worker():
+        return "thread"
+    if backend is None:
+        backend = os.environ.get("REPRO_PARALLEL_BACKEND", "").strip().lower()
+        if not backend:
+            return "thread"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"REPRO_PARALLEL_BACKEND must be one of {BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
+def resolve_jobs(jobs: int | None = None, backend: str | None = None) -> int:
+    """Effective worker count honouring the ``REPRO_JOBS`` override.
+
+    The :data:`DEFAULT_MAX_JOBS` cap applies only to the thread backend;
+    the process backend defaults to every core.  Inside a pool worker an
+    unspecified ``jobs`` resolves to 1 (nested fan-out stays serial even
+    if the parent exported ``REPRO_JOBS``), while an explicit ``jobs=``
+    argument is always respected.
+    """
+    if jobs is None:
+        if in_worker():
+            return 1
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+        else:
+            cpus = os.cpu_count() or 1
+            if resolve_backend(backend) == "process":
+                jobs = cpus
+            else:
+                jobs = min(cpus, DEFAULT_MAX_JOBS)
+    return max(1, jobs)
+
+
+def effective_backend(
+    jobs: int | None = None,
+    items: int | None = None,
+    backend: str | None = None,
+) -> str:
+    """Predict which backend a :func:`parallel_map` call would use.
+
+    Returns ``"serial"`` when the resolved worker count (or item count,
+    if given) cannot sustain a fan-out.  Callers use this to decide
+    whether :func:`shared` should bother creating shared-memory segments
+    before the map actually runs.
+    """
+    resolved = resolve_backend(backend)
+    workers = resolve_jobs(jobs, backend=resolved)
+    if items is not None:
+        workers = min(workers, items)
+        if items <= 1:
+            return "serial"
+    if workers <= 1:
+        return "serial"
+    return resolved
+
+
+def _run_task(
+    ctx: contextvars.Context,
+    fn: Callable[[T], R],
+    item: T,
+    index: int,
+    label: str,
+    submitted: float,
+) -> R:
+    """Worker-side wrapper: queue-wait timing + caller-context execution."""
+    perf.add_time("eval.parallel_queue_wait", time.perf_counter() - submitted)
+    return ctx.run(_run_traced, fn, item, index, label)
+
+
+def _run_traced(fn: Callable[[T], R], item: T, index: int, label: str) -> R:
+    with obs.span("eval.task", label=label, index=index):
+        return fn(item)
+
+
+def _thread_map(
+    fn: Callable[[T], R], work: Sequence[T], workers: int, label: str
+) -> list[R]:
+    with ThreadPoolExecutor(max_workers=workers, thread_name_prefix=label) as pool:
+        # One context copy per task, taken here in the caller's thread:
+        # a Context can only be entered once at a time, so tasks sharing
+        # a single copy would collide when they run concurrently.
+        futures = [
+            pool.submit(
+                _run_task,
+                contextvars.copy_context(),
+                fn,
+                item,
+                index,
+                label,
+                time.perf_counter(),
+            )
+            for index, item in enumerate(work)
+        ]
+        return [future.result() for future in futures]
+
+
+def _process_map(
+    fn: Callable[[T], R],
+    work: Sequence[T],
+    workers: int,
+    label: str,
+    cost: Callable[[T], float] | None,
+):
+    """Run through the warm pool, or return ``_FALLBACK`` if unpicklable."""
+    from .pool import TaskSerializationError, get_pool
+
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:
+        perf.incr("parallel.process_fallback")
+        obs.warning(
+            "parallel.process_fallback", label=label,
+            reason=f"function not picklable: {exc!r}",
+        )
+        return _FALLBACK
+    pool = get_pool(workers)
+    with obs.span(
+        "eval.parallel_map",
+        backend="process", workers=workers, tasks=len(work), label=label,
+    ):
+        try:
+            return pool.map(fn, work, label=label, cost=cost)
+        except TaskSerializationError as exc:
+            perf.incr("parallel.process_fallback")
+            obs.warning(
+                "parallel.process_fallback", label=label, reason=str(exc)
+            )
+            return _FALLBACK
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    label: str = "repro-eval",
+    backend: str | None = None,
+    cost: Callable[[T], float] | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every item, possibly concurrently.
+
+    Deterministic: the result list matches the input order regardless of
+    completion order, and the first (lowest-input-index) exception raised
+    by ``fn`` propagates as in a serial loop.  Runs serially when only
+    one worker is resolved or there is at most one item.  ``cost`` is an
+    optional cheap per-item cost estimate (e.g. gate count) that shapes
+    the process backend's work-stealing schedule; it never affects
+    results.
+    """
+    work: Sequence[T] = list(items)
+    resolved = resolve_backend(backend)
+    workers = min(resolve_jobs(jobs, backend=resolved), len(work))
+    _LAST.update(
+        backend=resolved if workers > 1 else "serial",
+        jobs=max(1, workers),
+        tasks=len(work),
+    )
+    if workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    perf.incr("eval.parallel_batches")
+    perf.incr("eval.parallel_tasks", len(work))
+    if resolved == "process":
+        result = _process_map(fn, work, workers, label, cost)
+        if result is not _FALLBACK:
+            return result
+    return _thread_map(fn, work, workers, label)
+
+
+def shutdown_pools() -> None:
+    """Retire warm process pools, merging worker perf into this process."""
+    import sys
+
+    pool_module = sys.modules.get(f"{__name__}.pool")
+    if pool_module is not None:
+        pool_module.shutdown_pools()
+
+
+def sync_worker_perf() -> int:
+    """Drain live pools' worker perf registries into the parent's, now."""
+    import sys
+
+    pool_module = sys.modules.get(f"{__name__}.pool")
+    if pool_module is None:
+        return 0
+    return pool_module.sync_worker_perf()
+
+
+def _parallel_stats() -> dict:
+    """Effective backend/jobs + live pool stats (obs run report)."""
+    import sys
+
+    info = dict(_LAST)
+    pool_module = sys.modules.get(f"{__name__}.pool")
+    if pool_module is not None:
+        info.update(pool_module.pool_stats())
+    return info
+
+
+perf.register_stats_provider("parallel", _parallel_stats)

@@ -1,0 +1,347 @@
+"""Persistent warm process pool with work-stealing dispatch.
+
+Workers are spawned once (``spawn`` start method: clean interpreters, no
+inherited locks) and stay resident across ``parallel_map`` calls, so the
+per-spawn warm-up — importing the synthesis/eval stack, building the
+technology library, attaching the on-disk cache layers — is paid once per
+pool, not once per task.  Pools are keyed by worker count **and** a
+fingerprint of the ``REPRO_*`` environment: changing a gate (cache dirs,
+vector modes, trace paths) between calls retires the stale pool and warms
+a fresh one, because workers bind those gates at spawn.
+
+Dispatch is parent-coordinated: every worker holds exactly one task in
+flight; on completion the parent hands it the next task from its deque in
+the :class:`~repro.parallel.sched.WorkStealingScheduler` (stealing the
+tail half of the longest queue when its own runs dry).  Task payloads are
+pre-serialized once — small ones ride the pipe, large ones (elaborated
+netlists, SoA arrays) move through shared memory — and results return
+over the pipe keyed by input index, so output order and exception
+semantics match a serial loop exactly: every task runs, then the
+exception of the lowest failing input index is raised (the unpickled
+instance of the worker's exception).
+
+At shutdown each worker exports its :mod:`repro.perf` registry and the
+parent merges it (:func:`repro.perf.merge_state`), so counters, cache
+stats and per-worker queue-wait/steal percentiles from sharded runs land
+in the parent's snapshot and the obs run report.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import time
+from multiprocessing import get_context
+from multiprocessing.connection import wait as connection_wait
+
+from .. import obs, perf
+from . import shm
+from .sched import WorkStealingScheduler
+from .worker import worker_main
+
+__all__ = [
+    "ProcessPool",
+    "TaskSerializationError",
+    "WorkerTaskError",
+    "get_pool",
+    "shutdown_pools",
+    "sync_worker_perf",
+    "pool_stats",
+]
+
+_UNSET = object()
+
+
+class TaskSerializationError(Exception):
+    """A task function or item cannot be pickled for the process backend."""
+
+
+class WorkerTaskError(RuntimeError):
+    """A task failed with an exception that could not itself be pickled."""
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "id", "info")
+
+    def __init__(self, process, conn, worker_id: int) -> None:
+        self.process = process
+        self.conn = conn
+        self.id = worker_id
+        self.info: dict = {}
+
+
+class ProcessPool:
+    """A warm pool of ``size`` worker processes (see module docstring)."""
+
+    def __init__(self, size: int, label: str = "repro-pool") -> None:
+        if size < 1:
+            raise ValueError("pool needs at least one worker")
+        self.size = size
+        self.label = label
+        self.closed = False
+        self.maps = 0
+        self.tasks = 0
+        self.steal_total = 0
+        ctx = get_context("spawn")
+        trace_base = os.environ.get("REPRO_TRACE", "").strip() or None
+        self.workers: list[_Worker] = []
+        started = time.perf_counter()
+        for worker_id in range(size):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            sidecar = f"{trace_base}.w{worker_id:02d}" if trace_base else None
+            process = ctx.Process(
+                target=worker_main,
+                args=(child_conn, worker_id, sidecar),
+                name=f"{label}-w{worker_id:02d}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self.workers.append(_Worker(process, parent_conn, worker_id))
+        for worker in self.workers:
+            try:
+                msg = worker.conn.recv()
+            except EOFError:
+                self.shutdown(force=True)
+                raise RuntimeError(
+                    "pool worker died before its ready handshake (spawn "
+                    "re-imports __main__: scripts must guard pool use with "
+                    "`if __name__ == '__main__':` and be importable files)"
+                ) from None
+            if msg[0] != "ready":
+                detail = msg[2] if len(msg) > 2 else msg
+                self.shutdown(force=True)
+                raise RuntimeError(f"pool worker failed to warm up:\n{detail}")
+            worker.info = msg[2]
+        self.spawn_s = time.perf_counter() - started
+        perf.incr("parallel.workers_spawned", size)
+        perf.add_time("parallel.pool_spawn", self.spawn_s)
+        obs.info(
+            "parallel.pool_ready", workers=size,
+            spawn_s=round(self.spawn_s, 3),
+            warm_s=[w.info.get("warm_s") for w in self.workers],
+        )
+
+    # -- liveness -------------------------------------------------------------
+
+    @property
+    def usable(self) -> bool:
+        return not self.closed and all(w.process.is_alive() for w in self.workers)
+
+    # -- mapping --------------------------------------------------------------
+
+    def _prepare_payloads(self, work: list) -> tuple[list, list[shm.ShmHandle]]:
+        """Serialize every item once; big ones go to shared memory."""
+        threshold = shm.shm_min_bytes()
+        payloads: list[tuple] = []
+        handles: list[shm.ShmHandle] = []
+        try:
+            for item in work:
+                data, raws = shm._serialize(item)
+                total = len(data) + sum(raw.nbytes for raw in raws)
+                if total >= threshold:
+                    handle = shm._dump_parts(data, raws)
+                    handles.append(handle)
+                    payloads.append(("shm", handle))
+                else:
+                    payloads.append(
+                        ("inline", (data, [bytes(raw) for raw in raws]))
+                    )
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            for handle in handles:
+                shm.unlink_handle(handle)
+            raise TaskSerializationError(f"task item not picklable: {exc!r}")
+        return payloads, handles
+
+    def map(self, fn, items, label: str = "repro-eval", cost=None) -> list:
+        """Order-preserving map with serial-equivalent exception semantics."""
+        if self.closed:
+            raise RuntimeError("pool is shut down")
+        work = list(items)
+        if not work:
+            return []
+        payloads, handles = self._prepare_payloads(work)
+        costs = (
+            [max(0.0, float(cost(item))) for item in work]
+            if cost is not None
+            else [1.0] * len(work)
+        )
+        sched = WorkStealingScheduler(costs, self.size)
+        results: list = [_UNSET] * len(work)
+        errors: dict[int, tuple[BaseException | None, str]] = {}
+        busy: dict[int, int] = {}  # worker id -> in-flight task index
+        self.maps += 1
+        self.tasks += len(work)
+
+        def dispatch(worker: _Worker) -> None:
+            index = sched.next_task(worker.id)
+            if index is None:
+                return
+            worker.conn.send(
+                ("task", index, fn, *payloads[index], label)
+            )
+            busy[worker.id] = index
+
+        try:
+            for worker in self.workers:
+                dispatch(worker)
+            by_conn = {worker.conn: worker for worker in self.workers}
+            while busy:
+                ready = connection_wait(
+                    [w.conn for w in self.workers if w.id in busy]
+                )
+                for conn in ready:
+                    worker = by_conn[conn]
+                    try:
+                        msg = conn.recv()
+                    except EOFError:
+                        self.shutdown(force=True)
+                        raise RuntimeError(
+                            f"pool worker {worker.id} died while running "
+                            f"task {busy.get(worker.id)} of {label!r}"
+                        )
+                    kind = msg[0]
+                    if kind == "ok":
+                        _, index, result, _run_s = msg
+                        results[index] = result
+                    elif kind == "err":
+                        _, index, exc, detail = msg
+                        errors[index] = (exc, detail)
+                    else:  # pragma: no cover - protocol safety net
+                        raise RuntimeError(f"unexpected worker message {kind!r}")
+                    busy.pop(worker.id, None)
+                    dispatch(worker)
+        finally:
+            for handle in handles:
+                shm.unlink_handle(handle)
+        self.steal_total += sum(sched.steals)
+        if errors:
+            index = min(errors)
+            exc, detail = errors[index]
+            if exc is None:
+                raise WorkerTaskError(
+                    f"task {index} of {label!r} failed:\n{detail}"
+                )
+            raise exc
+        return results
+
+    # -- perf aggregation -----------------------------------------------------
+
+    def drain_perf(self) -> int:
+        """Merge every worker's perf registry into the parent's, now.
+
+        Only call between maps.  Workers reset their registries after
+        exporting, so repeated drains never double-count.  Returns the
+        number of workers drained.
+        """
+        drained = 0
+        for worker in self.workers:
+            if not worker.process.is_alive():
+                continue
+            worker.conn.send(("perf",))
+            msg = worker.conn.recv()
+            if msg[0] == "perf":
+                perf.merge_state(msg[2])
+                drained += 1
+        perf.incr("parallel.perf_drains")
+        return drained
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def shutdown(self, force: bool = False) -> None:
+        """Stop every worker, merging their perf registries on clean exit."""
+        if self.closed:
+            return
+        self.closed = True
+        for worker in self.workers:
+            if not worker.process.is_alive():
+                continue
+            if not force:
+                try:
+                    worker.conn.send(("close",))
+                    while True:
+                        msg = worker.conn.recv()
+                        if msg[0] == "closed":
+                            perf.merge_state(msg[2])
+                            break
+                except (EOFError, OSError, BrokenPipeError):
+                    pass
+            worker.conn.close()
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+
+    def stats(self) -> dict:
+        return {
+            "workers": self.size,
+            "alive": sum(w.process.is_alive() for w in self.workers),
+            "maps": self.maps,
+            "tasks": self.tasks,
+            "steals": self.steal_total,
+            "spawn_s": round(self.spawn_s, 6),
+        }
+
+
+# -- the persistent pool registry ---------------------------------------------
+
+_POOLS: dict[tuple, ProcessPool] = {}
+
+
+def _env_fingerprint() -> tuple:
+    """The REPRO_* environment slice workers bind at spawn."""
+    return tuple(
+        sorted(
+            (key, value)
+            for key, value in os.environ.items()
+            if key.startswith("REPRO_") and key != "REPRO_PARALLEL_WORKER"
+        )
+    )
+
+
+def get_pool(workers: int) -> ProcessPool:
+    """The warm pool for the current environment, spawning if needed."""
+    fingerprint = _env_fingerprint()
+    key = (workers, fingerprint)
+    pool = _POOLS.get(key)
+    if pool is not None and pool.usable:
+        return pool
+    if pool is not None:
+        pool.shutdown()
+        del _POOLS[key]
+    # Retire pools warmed under a different environment: their workers
+    # bound stale gates at spawn and would silently disagree with the
+    # parent's current configuration.
+    for other_key in [k for k in _POOLS if k[1] != fingerprint]:
+        _POOLS.pop(other_key).shutdown()
+    pool = ProcessPool(workers)
+    _POOLS[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every pool (merges worker perf into the parent registry)."""
+    for pool in list(_POOLS.values()):
+        pool.shutdown()
+    _POOLS.clear()
+
+
+def sync_worker_perf() -> int:
+    """Drain worker perf registries of every live pool into the parent."""
+    return sum(pool.drain_perf() for pool in _POOLS.values() if pool.usable)
+
+
+def pool_stats() -> dict:
+    """Aggregated stats over live pools (for the ``parallel`` provider)."""
+    pools = list(_POOLS.values())
+    return {
+        "pools": len(pools),
+        "pool_workers": sum(p.size for p in pools),
+        "maps": sum(p.maps for p in pools),
+        "pool_tasks": sum(p.tasks for p in pools),
+        "steals": sum(p.steal_total for p in pools),
+    }
+
+
+atexit.register(shutdown_pools)

@@ -1,0 +1,92 @@
+"""Work-stealing scheduler for the process pool.
+
+The pool is parent-coordinated: workers hold at most one task in flight
+and come back for the next, so the scheduler runs entirely in the parent
+and needs no cross-process synchronization.  Each worker owns a deque;
+tasks are pre-assigned longest-processing-time-first by a cheap cost
+estimate (gate count, source size — whatever the caller supplies), each
+queue ordered costliest-first.  A worker whose queue runs dry steals the
+**tail half** of the longest remaining queue — the classic steal-half
+discipline: owners drain expensive work from the front, thieves lift the
+cheap tail, so a steal moves the most work with the least disruption to
+the victim's locality.
+
+Cost estimates only shape placement; correctness never depends on them
+(results are keyed by input index, and any worker may run any task).
+Per-task queue wait (scheduler build → dispatch) and per-worker steal
+counts are recorded through :mod:`repro.perf` for the run report.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from .. import perf
+
+__all__ = ["WorkStealingScheduler"]
+
+
+class WorkStealingScheduler:
+    """Per-worker deques with LPT pre-assignment and steal-half rebalance."""
+
+    def __init__(self, costs: list[float], workers: int) -> None:
+        if workers < 1:
+            raise ValueError("scheduler needs at least one worker")
+        self.costs = costs
+        self.queues: list[deque[int]] = [deque() for _ in range(workers)]
+        self.steals = [0] * workers
+        self.stolen_tasks = [0] * workers
+        self.dispatched = [0] * workers
+        self.created = time.perf_counter()
+        loads = [0.0] * workers
+        # LPT: costliest first, ties broken by input index; each task goes
+        # to the least-loaded queue, keeping every queue cost-descending.
+        order = sorted(range(len(costs)), key=lambda i: (-costs[i], i))
+        for index in order:
+            target = min(range(workers), key=lambda w: (loads[w], w))
+            self.queues[target].append(index)
+            loads[target] += costs[index]
+        self.initial_loads = loads
+
+    def remaining(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    def next_task(self, worker: int) -> int | None:
+        """Next task index for ``worker`` (stealing if its queue is dry)."""
+        queue = self.queues[worker]
+        if not queue:
+            victim = max(
+                (w for w in range(len(self.queues)) if w != worker),
+                key=lambda w: len(self.queues[w]),
+                default=None,
+            )
+            if victim is None or not self.queues[victim]:
+                return None
+            victim_queue = self.queues[victim]
+            take = (len(victim_queue) + 1) // 2
+            # Lift the cheap tail, then restore cost-descending order.
+            stolen = [victim_queue.pop() for _ in range(take)]
+            queue.extend(reversed(stolen))
+            self.steals[worker] += 1
+            self.stolen_tasks[worker] += take
+            perf.incr("parallel.steals")
+            perf.incr(f"parallel.steals.w{worker:02d}")
+            perf.incr("parallel.stolen_tasks", take)
+        index = queue.popleft()
+        self.dispatched[worker] += 1
+        wait = time.perf_counter() - self.created
+        perf.add_time("eval.parallel_queue_wait", wait)
+        perf.add_time(f"parallel.queue_wait.w{worker:02d}", wait)
+        perf.incr(f"parallel.tasks.w{worker:02d}")
+        return index
+
+    def stats(self) -> dict:
+        return {
+            "workers": len(self.queues),
+            "tasks": len(self.costs),
+            "dispatched": list(self.dispatched),
+            "steals": list(self.steals),
+            "stolen_tasks": list(self.stolen_tasks),
+            "initial_loads": [round(load, 3) for load in self.initial_loads],
+        }

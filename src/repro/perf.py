@@ -46,6 +46,8 @@ __all__ = [
     "add_time",
     "counters",
     "register_stats_provider",
+    "export_state",
+    "merge_state",
 ]
 
 #: Per-timer reservoir size: large enough for stable p50/p95, small
@@ -185,6 +187,55 @@ class PerfRegistry:
             self._time_calls.clear()
             self._time_samples.clear()
 
+    # -- cross-process aggregation -------------------------------------------
+
+    def export_state(self) -> dict:
+        """Mergeable dump of counters and timers (see :meth:`merge_state`).
+
+        Unlike :meth:`snapshot` this keeps the raw reservoir samples so a
+        receiving registry can fold them into its own percentile estimates.
+        Worker processes of the parallel process backend export their
+        registry through this at pool shutdown.
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "timers": {
+                    name: {
+                        "total_s": total,
+                        "calls": self._time_calls.get(name, 0),
+                        "samples": list(self._time_samples[name].samples),
+                        "max_s": self._time_samples[name].max,
+                    }
+                    for name, total in self._time_total.items()
+                },
+            }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another registry's :meth:`export_state` into this one.
+
+        Counter values, timer totals and call counts add exactly; the
+        donor's (bounded) duration samples feed this registry's reservoirs,
+        so merged percentiles are estimates while ``max_s`` stays exact.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.incr(name, value)
+        for name, entry in state.get("timers", {}).items():
+            with self._lock:
+                self._time_total[name] = (
+                    self._time_total.get(name, 0.0) + entry["total_s"]
+                )
+                self._time_calls[name] = (
+                    self._time_calls.get(name, 0) + entry["calls"]
+                )
+                reservoir = self._time_samples.get(name)
+                if reservoir is None:
+                    reservoir = self._time_samples[name] = _Reservoir()
+                for sample in entry.get("samples", ()):
+                    reservoir.add(sample)
+                if entry.get("max_s", 0.0) > reservoir.max:
+                    reservoir.max = entry["max_s"]
+
 
 #: The process-global registry used by the module-level helpers.
 registry = PerfRegistry()
@@ -198,3 +249,5 @@ snapshot = registry.snapshot
 reset = registry.reset
 add_time = registry.add_time
 register_stats_provider = registry.register_stats_provider
+export_state = registry.export_state
+merge_state = registry.merge_state

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import itertools
 import os
 import pickle
 import threading
@@ -40,20 +41,80 @@ __all__ = [
     "frontend_cache",
     "cache_enabled",
     "frontend_cache_mode",
+    "synth_cache_mode",
     "synthesis_key",
     "frontend_key",
     "synthesize_cached",
     "elaborate_cached",
     "netlist_cache_stats",
     "clear_caches",
+    "atomic_pickle_write",
 ]
+
+
+def synth_cache_mode() -> tuple[bool, str | None]:
+    """Parse ``REPRO_SYNTH_CACHE`` into ``(enabled, disk_dir)``.
+
+    Off-values (``0``/``false``/``no``/``off``) disable the synthesis
+    cache entirely; unset or on-values keep the in-memory layer only; any
+    other string is a directory path enabling a persistent pickle layer
+    shared across processes — the process-backend worker pool reads and
+    writes one store, so a design synthesized by any worker is a hit for
+    every other.
+    """
+    raw = os.environ.get("REPRO_SYNTH_CACHE", "1").strip()
+    lowered = raw.lower()
+    if lowered in ("0", "false", "no", "off"):
+        return False, None
+    if lowered in ("", "1", "true", "yes", "on"):
+        return True, None
+    return True, raw
 
 
 def cache_enabled() -> bool:
     """Whether the synthesis cache is active (``REPRO_SYNTH_CACHE`` gate)."""
-    return os.environ.get("REPRO_SYNTH_CACHE", "1").lower() not in (
-        "0", "false", "no", "off",
+    return synth_cache_mode()[0]
+
+
+#: Monotonic suffix so concurrent writers in one process never share a
+#: temp file (pid alone is not unique across threads).
+_TMP_IDS = itertools.count(1)
+
+
+def atomic_pickle_write(path: str, obj) -> bool:
+    """Write ``pickle(obj)`` to ``path`` atomically; False on any OS error.
+
+    A unique temp name (pid + thread id + counter) plus ``os.replace``
+    guarantees readers — worker processes racing on one on-disk cache
+    directory — only ever observe complete entries, never torn bytes:
+    either the old file, the new file, or a miss.
+    """
+    tmp = (
+        f"{path}.{os.getpid()}.{threading.get_ident()}.{next(_TMP_IDS)}.tmp"
     )
+    try:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(tmp, "wb") as fh:
+            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return False
+    return True
+
+
+def atomic_pickle_read(path: str, expected_type: type):
+    """Load a pickled cache entry; None on missing/torn/foreign content."""
+    try:
+        with open(path, "rb") as fh:
+            obj = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+    return obj if isinstance(obj, expected_type) else None
 
 
 def synthesis_key(
@@ -76,7 +137,14 @@ def synthesis_key(
 
 
 class SynthesisCache:
-    """Thread-safe LRU cache of :class:`ScriptResult` by content key."""
+    """Thread-safe LRU cache of :class:`ScriptResult` by content key.
+
+    An optional on-disk pickle layer (directory-valued
+    ``REPRO_SYNTH_CACHE``) backs the in-memory LRU: entries written by
+    any process are hits for every other.  Disk writes are atomic
+    (:func:`atomic_pickle_write`), so concurrent worker processes never
+    read torn entries.
+    """
 
     def __init__(self, max_entries: int = 512) -> None:
         self.max_entries = max_entries
@@ -84,31 +152,59 @@ class SynthesisCache:
         self._entries: OrderedDict[str, ScriptResult] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_writes = 0
 
-    def get(self, key: str) -> ScriptResult | None:
+    def _disk_path(self, disk_dir: str, key: str) -> str:
+        return os.path.join(disk_dir, f"{key}.result.pkl")
+
+    def get(self, key: str, disk_dir: str | None = None) -> ScriptResult | None:
         with self._lock:
             result = self._entries.get(key)
-            if result is None:
-                self.misses += 1
-                perf.incr("synthcache.miss")
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
+            if result is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if result is not None:
             perf.incr("synthcache.hit")
             return copy.deepcopy(result)
+        if disk_dir is not None:
+            loaded = atomic_pickle_read(self._disk_path(disk_dir, key), ScriptResult)
+            if loaded is not None:
+                with self._lock:
+                    self.hits += 1
+                    self.disk_hits += 1
+                    self._entries[key] = loaded
+                    self._trim()
+                perf.incr("synthcache.hit")
+                perf.incr("synthcache.disk_hit")
+                return copy.deepcopy(loaded)
+        with self._lock:
+            self.misses += 1
+        perf.incr("synthcache.miss")
+        return None
 
-    def put(self, key: str, result: ScriptResult) -> None:
+    def put(self, key: str, result: ScriptResult, disk_dir: str | None = None) -> None:
         with self._lock:
             self._entries[key] = copy.deepcopy(result)
             self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            self._trim()
+        if disk_dir is not None:
+            if atomic_pickle_write(self._disk_path(disk_dir, key), result):
+                with self._lock:
+                    self.disk_writes += 1
+                perf.incr("synthcache.disk_write")
+
+    def _trim(self) -> None:
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.disk_hits = 0
+            self.disk_writes = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -120,6 +216,8 @@ class SynthesisCache:
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "disk_writes": self.disk_writes,
             }
 
 
@@ -217,30 +315,12 @@ class FrontendCache:
             self._entries.popitem(last=False)
 
     def _disk_get(self, key: str, disk_dir: str) -> Netlist | None:
-        path = self._disk_path(disk_dir, key)
-        try:
-            with open(path, "rb") as fh:
-                netlist = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None
-        return netlist if isinstance(netlist, Netlist) else None
+        return atomic_pickle_read(self._disk_path(disk_dir, key), Netlist)
 
     def _disk_put(self, key: str, netlist: Netlist, disk_dir: str) -> None:
-        path = self._disk_path(disk_dir, key)
-        tmp = f"{path}.{os.getpid()}.tmp"
-        try:
-            os.makedirs(disk_dir, exist_ok=True)
-            with open(tmp, "wb") as fh:
-                pickle.dump(netlist, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            return
-        self.disk_writes += 1
-        perf.incr("frontend.disk_write")
+        if atomic_pickle_write(self._disk_path(disk_dir, key), netlist):
+            self.disk_writes += 1
+            perf.incr("frontend.disk_write")
 
     def clear(self) -> None:
         with self._lock:
@@ -345,9 +425,11 @@ def synthesize_cached(
     Equivalent to building a :class:`DCShell`, registering the design and
     calling :meth:`DCShell.run_script` — except identical (library, design,
     script) triples are served from the cache.  Always uses a fresh shell,
-    so results are independent of any prior shell state.
+    so results are independent of any prior shell state.  A directory-
+    valued ``REPRO_SYNTH_CACHE`` adds a cross-process on-disk layer (see
+    :func:`synth_cache_mode`).
     """
-    use_cache = cache_enabled()
+    use_cache, disk_dir = synth_cache_mode()
     # `cache or _DEFAULT` would discard an *empty* cache (len() == 0 is falsy).
     store = _DEFAULT if cache is None else cache
     with obs.span("synth.synthesize", design=design_name) as sp:
@@ -355,7 +437,7 @@ def synthesize_cached(
         key = None
         if use_cache:
             key = synthesis_key(shell.library.name, design_name, verilog, top, script)
-            cached = store.get(key)
+            cached = store.get(key, disk_dir)
             if cached is not None:
                 sp.set_attribute("cached", True)
                 return cached
@@ -367,5 +449,5 @@ def synthesize_cached(
         if not result.success:
             obs.warning("synth.script_failed", design=design_name, error=result.error)
         if use_cache and key is not None:
-            store.put(key, result)
+            store.put(key, result, disk_dir)
         return result

@@ -1,0 +1,112 @@
+"""Tests for the work-stealing scheduler (repro.parallel.sched)."""
+
+import pytest
+
+from repro.parallel.sched import WorkStealingScheduler
+
+
+def drain(sched: WorkStealingScheduler, worker: int) -> list[int]:
+    out = []
+    while (index := sched.next_task(worker)) is not None:
+        out.append(index)
+    return out
+
+
+class TestAssignment:
+    def test_needs_a_worker(self):
+        with pytest.raises(ValueError):
+            WorkStealingScheduler([1.0], workers=0)
+
+    def test_every_task_dispatched_exactly_once(self):
+        sched = WorkStealingScheduler([1.0] * 20, workers=3)
+        seen = []
+        # round-robin pulls, as the pool does when every task is instant
+        active = True
+        while active:
+            active = False
+            for worker in range(3):
+                index = sched.next_task(worker)
+                if index is not None:
+                    seen.append(index)
+                    active = True
+        assert sorted(seen) == list(range(20))
+        assert sched.remaining() == 0
+
+    def test_lpt_balances_uneven_costs(self):
+        # one huge design + many small ones: LPT puts the huge one alone
+        costs = [100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        sched = WorkStealingScheduler(costs, workers=2)
+        assert sorted(sched.initial_loads) == [6.0, 100.0]
+        light = min(range(2), key=lambda w: sched.initial_loads[w])
+        assert len(sched.queues[light]) == 6
+
+    def test_queues_are_cost_descending(self):
+        costs = [3.0, 9.0, 1.0, 7.0, 5.0, 2.0]
+        sched = WorkStealingScheduler(costs, workers=2)
+        for queue in sched.queues:
+            order = [costs[i] for i in queue]
+            assert order == sorted(order, reverse=True)
+
+    def test_deterministic_tie_break(self):
+        a = WorkStealingScheduler([2.0] * 8, workers=3)
+        b = WorkStealingScheduler([2.0] * 8, workers=3)
+        assert [list(q) for q in a.queues] == [list(q) for q in b.queues]
+
+
+class TestStealing:
+    def test_idle_worker_steals_half_the_tail(self):
+        sched = WorkStealingScheduler([1.0] * 8, workers=2)
+        # worker 1 never shows up; worker 0 drains its own queue...
+        own = len(sched.queues[0])
+        for _ in range(own):
+            assert sched.next_task(0) is not None
+        assert not sched.queues[0]
+        victim_before = len(sched.queues[1])
+        # ...then steals from worker 1's tail instead of going idle
+        index = sched.next_task(0)
+        assert index is not None
+        assert sched.steals[0] == 1
+        assert sched.stolen_tasks[0] == (victim_before + 1) // 2
+        assert len(sched.queues[1]) == victim_before - (victim_before + 1) // 2
+
+    def test_steal_preserves_completeness(self):
+        costs = [float(c) for c in (9, 1, 8, 2, 7, 3, 6, 4, 5)]
+        sched = WorkStealingScheduler(costs, workers=3)
+        # pathological schedule: worker 0 does everything
+        seen = drain(sched, 0)
+        assert sorted(seen) == list(range(9))
+
+    def test_stolen_tail_is_cheap_end(self):
+        costs = [10.0, 9.0, 1.0, 1.0]
+        sched = WorkStealingScheduler(costs, workers=2)
+        # force worker 0 dry, then steal: the lifted tasks come from the
+        # victim's cheap tail, so the victim keeps its expensive head
+        for _ in range(len(sched.queues[0])):
+            sched.next_task(0)
+        victim = 1
+        head_before = sched.queues[victim][0]
+        sched.next_task(0)
+        assert sched.queues[victim] and sched.queues[victim][0] == head_before
+
+    def test_exhausted_returns_none(self):
+        sched = WorkStealingScheduler([1.0, 1.0], workers=2)
+        drain(sched, 0)
+        drain(sched, 1)
+        assert sched.next_task(0) is None
+        assert sched.next_task(1) is None
+
+    def test_single_worker_never_steals(self):
+        sched = WorkStealingScheduler([1.0] * 5, workers=1)
+        assert drain(sched, 0) == [0, 1, 2, 3, 4]
+        assert sched.steals == [0]
+
+
+class TestStats:
+    def test_stats_shape(self):
+        sched = WorkStealingScheduler([2.0, 1.0, 3.0], workers=2)
+        drain(sched, 0)
+        stats = sched.stats()
+        assert stats["workers"] == 2
+        assert stats["tasks"] == 3
+        assert sum(stats["dispatched"]) == 3
+        assert len(stats["initial_loads"]) == 2

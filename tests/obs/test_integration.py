@@ -39,6 +39,20 @@ def traced_run(tmp_path_factory, db):
 
 
 def _run_traced_pass_at_k(tmp_path, db):
+    # These tests assert the *thread* backend's span-nesting contract
+    # (worker spans descend from the customize root).  The process
+    # backend re-roots worker spans into sidecar traces instead — that
+    # contract is covered by tests/obs/test_process_trace.py — so the
+    # traced run is pinned to threads regardless of the ambient env.
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv("REPRO_PARALLEL_BACKEND", "thread")
+    try:
+        return _run_traced_pass_at_k_threaded(tmp_path, db)
+    finally:
+        patcher.undo()
+
+
+def _run_traced_pass_at_k_threaded(tmp_path, db):
     tracer = obs.configure(str(tmp_path / "trace.jsonl"))
     bench = get_benchmark("aes")
     result = ChatLS(db).customize_pass_at_k(

@@ -1,0 +1,95 @@
+"""Process-backend tracing contract: sidecar traces and report merging.
+
+``contextvars`` do not cross process boundaries, so pool workers cannot
+attach their spans to the parent's harness span.  The documented
+contract instead: each worker writes ``$REPRO_TRACE.wNN`` with its task
+spans re-rooted (carrying ``worker``/``index`` attributes), and
+``repro.obs.report`` merges the sidecars — minus their snapshot
+records — into the parent report.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro import obs, perf
+from repro.obs.report import load_events_with_sidecars, render_report, summarize
+from repro.parallel import parallel_map, shutdown_pools
+
+
+def _traced_square(x: int) -> int:
+    with obs.span("test.work", x=x):
+        return x * x
+
+
+@pytest.fixture
+def traced_process_run(tmp_path, monkeypatch):
+    trace = str(tmp_path / "trace.jsonl")
+    # workers pick the sidecar path up from the environment at spawn
+    monkeypatch.setenv("REPRO_TRACE", trace)
+    # the registry is process-global and cumulative; start from zero so
+    # the trace's shutdown snapshot counts exactly this run's tasks
+    perf.reset()
+    tracer = obs.configure(trace)
+    try:
+        result = parallel_map(
+            _traced_square, range(8), jobs=2, backend="process", label="traced"
+        )
+        # order matters: pool shutdown merges worker perf into this
+        # process first, so the tracer's final snapshot includes it
+        shutdown_pools()
+        tracer.shutdown()
+    finally:
+        obs.configure(None)
+    return trace, result
+
+
+class TestSidecarTraces:
+    def test_workers_write_sidecars(self, traced_process_run):
+        trace, result = traced_process_run
+        assert result == [x * x for x in range(8)]
+        sidecars = sorted(glob.glob(f"{trace}.w*"))
+        assert len(sidecars) == 2
+        assert all(os.path.getsize(p) > 0 for p in sidecars)
+
+    def test_merged_events_carry_worker_spans(self, traced_process_run):
+        trace, _ = traced_process_run
+        events = load_events_with_sidecars(trace)
+        tasks = [
+            e for e in events
+            if e.get("type") == "span" and e["name"] == "eval.task"
+        ]
+        assert len(tasks) == 8
+        assert {t["attrs"]["worker"] for t in tasks} == {0, 1}
+        assert sorted(t["attrs"]["index"] for t in tasks) == list(range(8))
+        # task bodies traced in the worker are present too
+        assert sum(
+            1 for e in events
+            if e.get("type") == "span" and e["name"] == "test.work"
+        ) == 8
+
+    def test_sidecar_snapshots_are_dropped(self, traced_process_run):
+        trace, _ = traced_process_run
+        events = load_events_with_sidecars(trace)
+        snapshots = [e for e in events if e.get("type") == "snapshot"]
+        assert len(snapshots) == 1  # the parent's only
+
+    def test_report_shows_per_worker_stats(self, traced_process_run):
+        trace, _ = traced_process_run
+        events = load_events_with_sidecars(trace)
+        summary = summarize(events)
+        workers = {row["worker"] for row in summary["workers"]}
+        assert workers == {"w00", "w01"}
+        total_tasks = sum(row["tasks"] for row in summary["workers"])
+        assert total_tasks == 8
+        rendered = render_report(events)
+        assert "Process-pool workers" in rendered
+        assert "backend=process" in rendered
+
+    def test_parallel_section_excluded_from_caches(self, traced_process_run):
+        trace, _ = traced_process_run
+        summary = summarize(load_events_with_sidecars(trace))
+        assert "parallel" not in summary["caches"]
+        assert summary["parallel"]["backend"] == "process"
+        assert summary["parallel"]["jobs"] == 2

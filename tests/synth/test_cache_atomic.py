@@ -1,0 +1,140 @@
+"""Atomic on-disk cache write tests (tmp + os.replace).
+
+Process-pool workers and the parent share the frontend/synthesis disk
+cache directories; a reader must never observe a torn pickle, and
+concurrent writers of the same key must not corrupt each other.
+"""
+
+import os
+import threading
+
+from repro.synth import ScriptResult, SynthesisCache
+from repro.synth.cache import (
+    atomic_pickle_read,
+    atomic_pickle_write,
+    synth_cache_mode,
+    synthesis_key,
+)
+
+
+class TestAtomicHelpers:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "sub" / "x.pkl")
+        assert atomic_pickle_write(path, {"a": [1, 2, 3]})
+        assert atomic_pickle_read(path, dict) == {"a": [1, 2, 3]}
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert atomic_pickle_read(str(tmp_path / "absent.pkl"), dict) is None
+
+    def test_wrong_type_is_none(self, tmp_path):
+        path = str(tmp_path / "x.pkl")
+        atomic_pickle_write(path, [1, 2])
+        assert atomic_pickle_read(path, dict) is None
+
+    def test_corrupt_file_is_none(self, tmp_path):
+        path = str(tmp_path / "x.pkl")
+        with open(path, "wb") as fh:
+            fh.write(b"\x80\x05 torn mid-write")
+        assert atomic_pickle_read(path, dict) is None
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "x.pkl")
+        for i in range(10):
+            atomic_pickle_write(path, {"round": i})
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_unwritable_directory_returns_false(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        assert not atomic_pickle_write(str(blocker / "x.pkl"), {})
+
+
+class TestConcurrentStress:
+    def test_readers_never_see_torn_writes(self, tmp_path):
+        """Hammer one path with racing writers while readers poll it.
+
+        Every successful read must be a complete, valid payload — any
+        torn pickle surfaces as ``None`` from a file that exists, which
+        the non-atomic write-in-place approach produces readily.
+        """
+        path = str(tmp_path / "contested.pkl")
+        rounds = 150
+        payload = {"blob": b"x" * 4096}
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def writer(seed: int):
+            for i in range(rounds):
+                atomic_pickle_write(path, dict(payload, seed=seed, round=i))
+
+        def reader():
+            while not stop.is_set():
+                if os.path.exists(path):
+                    value = atomic_pickle_read(path, dict)
+                    if value is None:
+                        failures.append("torn read")
+                    elif value.get("blob") != payload["blob"]:
+                        failures.append("partial payload")
+
+        writers = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert failures == []
+        final = atomic_pickle_read(path, dict)
+        assert final is not None and final["round"] == rounds - 1
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+
+class TestSynthCacheDiskLayer:
+    def test_mode_resolution(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_SYNTH_CACHE", raising=False)
+        assert synth_cache_mode() == (True, None)
+        monkeypatch.setenv("REPRO_SYNTH_CACHE", "0")
+        assert synth_cache_mode() == (False, None)
+        monkeypatch.setenv("REPRO_SYNTH_CACHE", "1")
+        assert synth_cache_mode() == (True, None)
+        monkeypatch.setenv("REPRO_SYNTH_CACHE", str(tmp_path))
+        assert synth_cache_mode() == (True, str(tmp_path))
+
+    def test_disk_roundtrip_and_promotion(self, tmp_path):
+        disk = str(tmp_path)
+        key = synthesis_key("l", "d", "v", None, "s")
+        result = ScriptResult(success=True, error=None, transcript=[("c", "r")])
+        writer = SynthesisCache(max_entries=4)
+        writer.put(key, result, disk_dir=disk)
+        assert os.path.exists(os.path.join(disk, f"{key}.result.pkl"))
+
+        # a fresh cache (another process, conceptually) misses memory
+        # but is served from disk, then promotes the entry to memory
+        fresh = SynthesisCache(max_entries=4)
+        first = fresh.get(key, disk_dir=disk)
+        assert first is not None and first.success
+        assert fresh.stats()["disk_hits"] == 1
+        again = fresh.get(key, disk_dir=disk)
+        assert again is not None
+        assert fresh.stats()["disk_hits"] == 1  # second hit came from memory
+
+    def test_disk_values_are_isolated(self, tmp_path):
+        disk = str(tmp_path)
+        writer = SynthesisCache(max_entries=4)
+        writer.put("k", ScriptResult(True, None, [("c", "r")]), disk_dir=disk)
+        fresh = SynthesisCache(max_entries=4)
+        got = fresh.get("k", disk_dir=disk)
+        got.transcript.append(("evil", "mutation"))
+        clean = SynthesisCache(max_entries=4).get("k", disk_dir=disk)
+        assert clean.transcript == [("c", "r")]
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        disk = str(tmp_path)
+        key = "badkey"
+        with open(os.path.join(disk, f"{key}.result.pkl"), "wb") as fh:
+            fh.write(b"not a pickle")
+        fresh = SynthesisCache(max_entries=4)
+        assert fresh.get(key, disk_dir=disk) is None

@@ -46,7 +46,9 @@ class TestSynthesisCache:
         cache.put(key, _result())
         got = cache.get(key)
         assert got is not None and got.success
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "disk_hits": 0, "disk_writes": 0,
+        }
 
     def test_values_are_isolated_copies(self, cache):
         cache.put("k", _result())
@@ -69,7 +71,9 @@ class TestSynthesisCache:
         cache.get("k")
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+        assert cache.stats() == {
+            "entries": 0, "hits": 0, "misses": 0, "disk_hits": 0, "disk_writes": 0,
+        }
 
     def test_thread_safety(self, cache):
         errors = []
