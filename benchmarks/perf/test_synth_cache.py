@@ -35,13 +35,12 @@ def test_synthesis_cache_speedup(bench_results):
     warm_s, warm = sweep()
     assert all(r.success for r in cold + warm)
     assert [r.qor for r in warm] == [r.qor for r in cold]
-    assert cache.stats() == {
-        "entries": len(DESIGNS),
-        "hits": len(DESIGNS),
-        "misses": len(DESIGNS),
-        "disk_hits": 0,
-        "disk_writes": 0,
-    }
+    stats = cache.stats()
+    assert stats["entries"] == len(DESIGNS)
+    assert stats["hits"] == len(DESIGNS)
+    assert stats["misses"] == len(DESIGNS)
+    assert stats["disk_hits"] == 0 and stats["disk_writes"] == 0
+    assert stats["hit_ratio"] == 0.5
     speedup = cold_s / warm_s
     bench_results["synth_cache"] = {
         "designs": list(DESIGNS),

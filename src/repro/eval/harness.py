@@ -118,6 +118,7 @@ def run_table4_baseline(
     picks threads or the warm process pool); identical re-runs are
     served from the synthesis cache.
     """
+    obs.ensure_metrics_server()
     names = list(designs or benchmark_names())
     result = Table4Result()
     with obs.span("eval.table4", designs=len(names)):
@@ -127,6 +128,11 @@ def run_table4_baseline(
         ):
             result.rows[name] = qor
             result.reports[name] = report
+    obs.record_run(
+        "table4",
+        qor={f"baseline/{name}": q for name, q in result.rows.items()},
+        extra={"designs": names, "jobs": jobs},
+    )
     return result
 
 
@@ -245,6 +251,7 @@ def run_table3_customization(
     design/model order regardless of completion order, and are bit-
     identical across the thread and process backends.
     """
+    obs.ensure_metrics_server()
     database = database or build_default_database(variants_per_family=1)
     names = list(designs or benchmark_names())
     table4 = baseline or run_table4_baseline(names, jobs=jobs)
@@ -279,6 +286,14 @@ def run_table3_customization(
     finally:
         release_shared(db_ref)
         release_shared(reports_ref)
+    qor = {f"baseline/{n}": q for n, q in result.baseline.items()}
+    for model, cells in result.models.items():
+        qor.update({f"{model}/{n}": q for n, q in cells.items()})
+    obs.record_run(
+        "table3",
+        qor=qor,
+        extra={"designs": names, "models": model_names, "k": k, "jobs": jobs},
+    )
     return result
 
 
@@ -346,8 +361,11 @@ def run_fig5_synthrag(
     Series: design-level retrieval with and without the domain reranker
     (Eq. 5), plus module-level retrieval and manual retrieval.
     """
+    obs.ensure_metrics_server()
     with obs.span("eval.fig5", ks=list(ks)):
-        return _run_fig5_synthrag(database, query_variants, ks)
+        result = _run_fig5_synthrag(database, query_variants, ks)
+    obs.record_run("fig5", extra={"ks": list(ks), "series": sorted(result.series)})
+    return result
 
 
 def _run_fig5_synthrag(
@@ -453,6 +471,7 @@ def run_fig4_metric_learning(
     from ..mentor.embeddings import CircuitEncoder
     from ..mentor.metric_learning import MetricTrainer, clustering_quality
 
+    obs.ensure_metrics_server()
     with obs.span("eval.fig4", epochs=epochs, loss=loss):
         corpus = generate_corpus(variants_per_family)
         families = sorted({d.family for d in corpus})
@@ -470,7 +489,11 @@ def run_fig4_metric_learning(
         stats = trainer.train(graphs, labels, epochs=epochs)
         embeddings1 = encoder.model.embed_graphs(graphs)
         after = clustering_quality(_normalize_rows(embeddings1), np.array(labels))
-        return Fig4Result(before=before, after=after, losses=stats.losses)
+        result = Fig4Result(before=before, after=after, losses=stats.losses)
+    obs.record_run(
+        "fig4", extra={"epochs": epochs, "loss": loss, "ratio": after["ratio"]}
+    )
+    return result
 
 
 def _normalize_rows(matrix: np.ndarray) -> np.ndarray:

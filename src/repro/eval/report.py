@@ -85,18 +85,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"\n[total {time.time() - start:.0f}s]")
 
+    # Retire any process pools: workers flush their sidecar traces on
+    # close and their perf registries merge into this process, so the
+    # ledger manifest and trace snapshot below carry the full run.
+    from .. import obs
+    from ..parallel import shutdown_pools
+
+    shutdown_pools()
+    qor = {f"baseline/{n}": q for n, q in table3.baseline.items()}
+    for model, cells in table3.models.items():
+        qor.update({f"{model}/{n}": q for n, q in cells.items()})
+    obs.record_run("report", qor=qor, extra={"fast": args.fast})
+
     # When REPRO_TRACE is set, close the eval run with the per-stage
     # observability breakdown so every harness run emits its report.
-    from .. import obs
-
     tracer = obs.get_tracer()
     if tracer.enabled and tracer.format == "jsonl":
-        # Retire any process pools first: workers flush their sidecar
-        # traces on close and their perf registries merge into this
-        # process, so the snapshot below carries the full run.
-        from ..parallel import shutdown_pools
-
-        shutdown_pools()
         tracer.shutdown()
         from ..obs.report import load_events_with_sidecars, render_report
 

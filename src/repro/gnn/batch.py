@@ -816,12 +816,14 @@ class EmbeddingCache:
 
     def stats(self) -> dict:
         with self._lock:
+            lookups = self.hits + self.misses
             return {
                 "enabled": embed_cache_enabled(),
                 "entries": len(self._entries),
                 "capacity": self.capacity,
                 "hits": self.hits,
                 "misses": self.misses,
+                "hit_ratio": round(self.hits / lookups, 6) if lookups else 0.0,
                 "evictions": self.evictions,
             }
 

@@ -1,19 +1,31 @@
 """``repro.obs``: end-to-end pipeline observability.
 
-Three layers over the same span/event model:
+Five layers over the same span/event/metric model:
 
 * :mod:`repro.obs.tracer` — hierarchical span tracer (``REPRO_TRACE``),
   contextvars-nested across ``parallel_map`` worker threads, exporting
   JSONL or Chrome trace-event JSON;
 * :mod:`repro.obs.logs` — structured JSON-lines logging (``REPRO_LOG``)
   with trace/span correlation ids;
-* :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``,
-  the per-stage time breakdown / counter / slowest-span report.
+* :mod:`repro.obs.metrics` — live typed metrics (labelled counters,
+  gauges, histograms) bridged from :mod:`repro.perf`, exposed in
+  Prometheus text format by a background HTTP server
+  (``REPRO_METRICS_PORT``), with the resource sampler of
+  :mod:`repro.obs.sampler` (``REPRO_METRICS_SAMPLE_SECS``);
+* :mod:`repro.obs.ledger` — one persistent manifest per eval run
+  (``REPRO_RUN_LEDGER``): git rev, env fingerprint, per-stage
+  latencies, counters, caches, per-design QoR;
+* :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``
+  for the per-stage run report, ``--diff base new`` for the
+  threshold-gated regression diff between two ledger manifests.
 
 Everything is off by default and near-zero overhead when disabled, so
 call sites are never guarded.
 """
 
+from .ledger import ledger_enabled, record_run
+from .metrics import ensure_server as ensure_metrics_server
+from .metrics import metrics_enabled
 from .logs import (
     LEVELS,
     StructuredLogger,
@@ -49,9 +61,13 @@ __all__ = [
     "configure_logging",
     "current_span",
     "debug",
+    "ensure_metrics_server",
     "error",
     "event",
     "flush",
+    "ledger_enabled",
+    "metrics_enabled",
+    "record_run",
     "get_logger",
     "get_tracer",
     "info",

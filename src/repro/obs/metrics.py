@@ -1,0 +1,717 @@
+"""Live metrics: typed registry + Prometheus text exposition endpoint.
+
+Where :mod:`repro.perf` is the *write* side of runtime telemetry (cheap
+counters and timers updated on every hot-path event) and the trace/report
+stack is *post-hoc*, this module is the **live read side**: a typed
+metrics registry (labelled counters, gauges, histograms) whose families
+are rendered in the Prometheus text exposition format and served by a
+stdlib background HTTP server, so a running evaluation — a full Table III
+sweep on the process pool — can be scraped mid-flight for queue depths,
+worker utilization, cache hit ratios and process resource usage.
+
+Three metric sources feed one scrape:
+
+* **typed metrics** registered here (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`), including callback gauges whose value is computed
+  lazily at collect time — the instrumentation pattern used by the
+  parallel pool and the caches, which costs nothing between scrapes;
+* the **perf bridge** (:func:`collect_perf`): every ``repro.perf``
+  counter, timer (exported as a histogram — bucket counts estimated from
+  the bounded reservoir, ``_sum``/``_count`` exact) and stats provider
+  (cache entries/hits/misses plus a derived hit ratio), so the whole
+  existing instrumentation surface is scrapeable without re-plumbing;
+* the **resource sampler** (:mod:`repro.obs.sampler`), which sets process
+  gauges (RSS, CPU%, GC, FDs, threads) on a period.
+
+Everything is **off by default**: with ``REPRO_METRICS_PORT`` unset,
+:func:`ensure_server` is one environment lookup and no thread, no socket,
+no registry traffic beyond what call sites already paid for
+:mod:`repro.perf`.  Set ``REPRO_METRICS_PORT=9464`` (or ``0`` for an
+ephemeral port) and every harness entry point starts the endpoint::
+
+    REPRO_METRICS_PORT=9464 python -m repro.eval.report &
+    curl localhost:9464/metrics
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import re
+import threading
+from typing import Any, Callable, Iterable, Iterator
+
+from .. import perf
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsServer",
+    "Sample",
+    "DEFAULT_BUCKETS",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "register_callback",
+    "collect_perf",
+    "render",
+    "parse_exposition",
+    "metrics_port",
+    "metrics_enabled",
+    "ensure_server",
+    "start_server",
+    "stop_server",
+    "active_server",
+]
+
+#: Default histogram bucket upper bounds (seconds) for stage latencies:
+#: sub-millisecond cache hits through minute-scale full-corpus stages.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def sanitize_name(name: str) -> str:
+    """Map an arbitrary dotted metric name to exposition-legal form."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+class Sample:
+    """One exposition line: ``name{labels} value``."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, str], value: float) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+
+class MetricFamily:
+    """A named, typed group of samples (one ``# TYPE`` block)."""
+
+    __slots__ = ("name", "type", "help", "samples")
+
+    def __init__(self, name: str, type: str, help: str = "",
+                 samples: list[Sample] | None = None) -> None:
+        self.name = name
+        self.type = type
+        self.help = help
+        self.samples = samples if samples is not None else []
+
+    def add(self, value: float, suffix: str = "", **labels: Any) -> None:
+        self.samples.append(
+            Sample(self.name + suffix, {k: str(v) for k, v in labels.items()}, value)
+        )
+
+
+def _label_key(labels: dict[str, str]) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class _Metric:
+    """Base for typed metrics: labelled children behind one lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 registry: "MetricsRegistry | None" = None) -> None:
+        if not _NAME_OK.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._children: dict[tuple, Any] = {}
+        if registry is not None:
+            registry.register(self)
+
+    def _check_labels(self, labels: dict[str, Any]) -> dict[str, str]:
+        out = {}
+        for key, value in labels.items():
+            if not _LABEL_OK.match(key):
+                raise ValueError(f"invalid label name {key!r}")
+            out[key] = str(value)
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._children.clear()
+
+    def collect(self) -> MetricFamily:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing labelled counter."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        labels = self._check_labels(labels)
+        key = _label_key(labels)
+        with self._lock:
+            current, _ = self._children.get(key, (0.0, labels))
+            self._children[key] = (current + amount, labels)
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(self._check_labels(labels))
+        with self._lock:
+            return self._children.get(key, (0.0, {}))[0]
+
+    def collect(self) -> MetricFamily:
+        family = MetricFamily(self.name, self.kind, self.help)
+        with self._lock:
+            children = list(self._children.values())
+        for value, labels in children:
+            family.add(value, **labels)
+        return family
+
+
+class Gauge(_Metric):
+    """Labelled gauge: a value that can go up, down, or be computed lazily.
+
+    ``set_function`` installs a callable evaluated at collect time — the
+    zero-overhead instrumentation pattern for live state (queue depths,
+    pool occupancy): nothing runs until something scrapes.
+    """
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        labels = self._check_labels(labels)
+        with self._lock:
+            self._children[_label_key(labels)] = (float(value), labels)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        labels = self._check_labels(labels)
+        key = _label_key(labels)
+        with self._lock:
+            current, _ = self._children.get(key, (0.0, labels))
+            if callable(current):
+                raise ValueError(f"gauge {self.name} child is a callback")
+            self._children[key] = (current + amount, labels)
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def set_function(self, fn: Callable[[], float], **labels: Any) -> None:
+        labels = self._check_labels(labels)
+        with self._lock:
+            self._children[_label_key(labels)] = (fn, labels)
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(self._check_labels(labels))
+        with self._lock:
+            value, _ = self._children.get(key, (0.0, {}))
+        return float(value()) if callable(value) else value
+
+    def collect(self) -> MetricFamily:
+        family = MetricFamily(self.name, self.kind, self.help)
+        with self._lock:
+            children = list(self._children.values())
+        for value, labels in children:
+            if callable(value):
+                try:
+                    value = float(value())
+                except Exception:  # a dead callback must not kill the scrape
+                    continue
+            family.add(value, **labels)
+        return family
+
+
+class Histogram(_Metric):
+    """Labelled histogram with fixed bucket upper bounds.
+
+    Renders the standard cumulative ``_bucket{le=...}`` series plus exact
+    ``_sum`` and ``_count``; bucket counts are monotonically non-
+    decreasing by construction and the ``+Inf`` bucket always equals
+    ``_count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS,
+                 registry: "MetricsRegistry | None" = None) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        super().__init__(name, help, registry)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        labels = self._check_labels(labels)
+        key = _label_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = (
+                    [0] * len(self.bounds), [0.0, 0], labels
+                )
+            counts, sum_count, _ = child
+            idx = bisect.bisect_left(self.bounds, value)
+            if idx < len(counts):
+                counts[idx] += 1
+            sum_count[0] += value
+            sum_count[1] += 1
+
+    def collect(self) -> MetricFamily:
+        family = MetricFamily(self.name, self.kind, self.help)
+        with self._lock:
+            children = [
+                (list(counts), list(sum_count), dict(labels))
+                for counts, sum_count, labels in self._children.values()
+            ]
+        for counts, (total, count), labels in children:
+            cumulative = 0
+            for bound, bucket in zip(self.bounds, counts):
+                cumulative += bucket
+                family.add(cumulative, suffix="_bucket", le=_fmt_bound(bound), **labels)
+            family.add(count, suffix="_bucket", le="+Inf", **labels)
+            family.add(total, suffix="_sum", **labels)
+            family.add(count, suffix="_count", **labels)
+        return family
+
+
+def _fmt_bound(bound: float) -> str:
+    text = repr(bound)
+    return text[:-2] if text.endswith(".0") else text
+
+
+class MetricsRegistry:
+    """Thread-safe collection of typed metrics plus collector callbacks.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create (idempotent, so
+    modules that reload re-register harmlessly); callbacks return extra
+    :class:`MetricFamily` lists computed at scrape time — the perf bridge
+    and the parallel-pool live stats register through this channel.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+        self._callbacks: dict[str, Callable[[], Iterable[MetricFamily]]] = {}
+
+    def register(self, metric: _Metric) -> None:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None and existing is not metric:
+                raise ValueError(f"metric {metric.name!r} already registered")
+            self._metrics[metric.name] = metric
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+        metric = cls(name, help, **kwargs)
+        with self._lock:
+            return self._metrics.setdefault(name, metric)
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def register_callback(
+        self, name: str, fn: Callable[[], Iterable[MetricFamily]]
+    ) -> None:
+        """Add (or replace) a collect-time family source."""
+        with self._lock:
+            self._callbacks[name] = fn
+
+    def collect(self) -> list[MetricFamily]:
+        with self._lock:
+            metrics = list(self._metrics.values())
+            callbacks = list(self._callbacks.values())
+        families = [m.collect() for m in metrics]
+        for callback in callbacks:
+            try:
+                families.extend(callback())
+            except Exception:  # one broken source must not kill the scrape
+                continue
+        return [f for f in families if f.samples]
+
+    def reset(self) -> None:
+        """Drop every metric and callback (test isolation helper)."""
+        with self._lock:
+            self._metrics.clear()
+            self._callbacks.clear()
+
+
+#: The process-global registry served by the metrics endpoint.
+registry = MetricsRegistry()
+
+counter = registry.counter
+gauge = registry.gauge
+histogram = registry.histogram
+
+
+def register_callback(name: str, fn: Callable[[], Iterable[MetricFamily]]) -> None:
+    registry.register_callback(name, fn)
+
+
+# -- perf bridge ---------------------------------------------------------------
+
+
+def collect_perf() -> list[MetricFamily]:
+    """Bridge the :mod:`repro.perf` registry into metric families.
+
+    * counters → ``repro_perf_events_total{name=...}``;
+    * timers → ``repro_stage_seconds{stage=...}`` histograms: bucket
+      counts estimated from the bounded duration reservoir (each retained
+      sample represents ``calls / len(samples)`` observations), while
+      ``_sum``/``_count`` stay exact — so rate and mean are exact and
+      quantiles are as good as the reservoir;
+    * stats providers → ``repro_cache_stat{cache=...,stat=...}`` for every
+      numeric stat, plus a derived ``repro_cache_hit_ratio`` wherever the
+      provider reports hits and misses.
+    """
+    state = perf.export_state()
+    families = []
+
+    counters_family = MetricFamily(
+        "repro_perf_events_total", "counter", "repro.perf counter values."
+    )
+    for name, value in sorted(state.get("counters", {}).items()):
+        counters_family.add(value, name=name)
+    families.append(counters_family)
+
+    stages = MetricFamily(
+        "repro_stage_seconds", "histogram",
+        "Per-stage wall clock from repro.perf timers (reservoir-estimated buckets).",
+    )
+    for name, entry in sorted(state.get("timers", {}).items()):
+        calls = entry.get("calls", 0)
+        samples = sorted(entry.get("samples", ()))
+        cumulative_prev = 0
+        for bound in DEFAULT_BUCKETS:
+            if samples:
+                frac = bisect.bisect_right(samples, bound) / len(samples)
+                cumulative = min(calls, round(frac * calls))
+            else:
+                cumulative = 0
+            cumulative = max(cumulative, cumulative_prev)
+            cumulative_prev = cumulative
+            stages.add(cumulative, suffix="_bucket", stage=name, le=_fmt_bound(bound))
+        stages.add(calls, suffix="_bucket", stage=name, le="+Inf")
+        stages.add(entry.get("total_s", 0.0), suffix="_sum", stage=name)
+        stages.add(calls, suffix="_count", stage=name)
+    families.append(stages)
+
+    snapshot_caches = perf.snapshot().get("caches", {})
+    stats_family = MetricFamily(
+        "repro_cache_stat", "gauge", "Cache/provider statistics by name."
+    )
+    ratio_family = MetricFamily(
+        "repro_cache_hit_ratio", "gauge", "hits / (hits + misses) per cache."
+    )
+    for cache_name, stats in sorted(snapshot_caches.items()):
+        if not isinstance(stats, dict):
+            continue
+        for stat, value in sorted(stats.items()):
+            if isinstance(value, bool):
+                value = int(value)
+            if isinstance(value, (int, float)):
+                stats_family.add(value, cache=cache_name, stat=stat)
+        hits, misses = stats.get("hits"), stats.get("misses")
+        if isinstance(hits, (int, float)) and isinstance(misses, (int, float)):
+            lookups = hits + misses
+            if lookups > 0:
+                ratio_family.add(hits / lookups, cache=cache_name)
+    families.append(stats_family)
+    families.append(ratio_family)
+    return families
+
+
+registry.register_callback("perf", collect_perf)
+
+
+# -- text exposition -----------------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render(reg: MetricsRegistry | None = None) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    reg = reg if reg is not None else registry
+    lines: list[str] = []
+    for family in reg.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for sample in family.samples:
+            if sample.labels:
+                label_text = ",".join(
+                    f'{k}="{_escape_label(v)}"' for k, v in sample.labels.items()
+                )
+                lines.append(f"{sample.name}{{{label_text}}} {_fmt_value(sample.value)}")
+            else:
+                lines.append(f"{sample.name} {_fmt_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text: str) -> tuple[dict[str, str], list[Sample]]:
+    """Strictly parse exposition text back into ``(types, samples)``.
+
+    Every non-comment line must match the sample grammar; histogram
+    families are validated for cumulative bucket monotonicity and
+    ``+Inf == _count`` agreement.  Raises :class:`ValueError` on any
+    malformed line — the round-trip property the test suite scrapes for.
+    """
+    types: dict[str, str] = {}
+    samples: list[Sample] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            parts = rest.split()
+            if len(parts) != 2 or parts[1] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: bad TYPE line {line!r}")
+            types[parts[0]] = parts[1]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _LINE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            consumed = 0
+            for lm in _LABEL.finditer(raw):
+                labels[lm.group(1)] = lm.group(2).replace('\\"', '"').replace(
+                    "\\n", "\n"
+                ).replace("\\\\", "\\")
+                consumed = lm.end()
+                if consumed < len(raw) and raw[consumed] == ",":
+                    consumed += 1
+            if consumed != len(raw):
+                raise ValueError(f"line {lineno}: bad label block {raw!r}")
+        value_text = match.group("value")
+        try:
+            value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad value {value_text!r}")
+        samples.append(Sample(match.group("name"), labels, value))
+    _validate_histograms(types, samples)
+    return types, samples
+
+
+def _histogram_children(
+    samples: list[Sample], family: str
+) -> Iterator[tuple[tuple, list[tuple[float, float]], float | None]]:
+    """Group a histogram family's samples by child label set."""
+    buckets: dict[tuple, list[tuple[float, float]]] = {}
+    counts: dict[tuple, float] = {}
+    for sample in samples:
+        labels = dict(sample.labels)
+        le = labels.pop("le", None)
+        key = _label_key(labels)
+        if sample.name == f"{family}_bucket" and le is not None:
+            bound = float(le.replace("+Inf", "inf"))
+            buckets.setdefault(key, []).append((bound, sample.value))
+        elif sample.name == f"{family}_count":
+            counts[key] = sample.value
+    for key, entries in buckets.items():
+        yield key, sorted(entries), counts.get(key)
+
+
+def _validate_histograms(types: dict[str, str], samples: list[Sample]) -> None:
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        relevant = [s for s in samples if s.name.startswith(family)]
+        for key, entries, count in _histogram_children(relevant, family):
+            values = [v for _, v in entries]
+            if values != sorted(values):
+                raise ValueError(
+                    f"{family} {dict(key)}: bucket counts decrease: {values}"
+                )
+            if entries and entries[-1][0] != float("inf"):
+                raise ValueError(f"{family} {dict(key)}: missing +Inf bucket")
+            if count is not None and entries and entries[-1][1] != count:
+                raise ValueError(
+                    f"{family} {dict(key)}: +Inf bucket {entries[-1][1]} != "
+                    f"count {count}"
+                )
+
+
+# -- background HTTP server ----------------------------------------------------
+
+
+def metrics_port() -> int | None:
+    """Parse ``REPRO_METRICS_PORT``: unset/empty → None, else an int.
+
+    ``0`` is valid and binds an ephemeral port (tests; the bound port is
+    on :attr:`MetricsServer.port`).
+    """
+    raw = os.environ.get("REPRO_METRICS_PORT", "").strip()
+    if not raw:
+        return None
+    try:
+        port = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_METRICS_PORT must be an integer, got {raw!r}")
+    if not 0 <= port <= 65535:
+        raise ValueError(f"REPRO_METRICS_PORT out of range: {port}")
+    return port
+
+
+def metrics_enabled() -> bool:
+    return metrics_port() is not None
+
+
+class MetricsServer:
+    """Background HTTP server exposing ``/metrics`` (and ``/healthz``)."""
+
+    def __init__(self, port: int, reg: MetricsRegistry | None = None,
+                 host: str = "127.0.0.1") -> None:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        target = reg if reg is not None else registry
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
+                if self.path.split("?")[0] not in ("/metrics", "/", "/healthz"):
+                    self.send_error(404)
+                    return
+                if self.path.startswith("/healthz"):
+                    body = b"ok\n"
+                    content_type = "text/plain"
+                else:
+                    body = render(target).encode()
+                    content_type = "text/plain; version=0.0.4; charset=utf-8"
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence stderr chatter
+                return
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+
+_SERVER_LOCK = threading.Lock()
+_SERVER: MetricsServer | None = None
+_SAMPLER = None
+
+
+def active_server() -> MetricsServer | None:
+    return _SERVER
+
+
+def start_server(port: int | None = None,
+                 sample_secs: float | None = None) -> MetricsServer:
+    """Start the exposition endpoint (and the resource sampler) now.
+
+    Idempotent: a second call returns the running server.  ``port=None``
+    reads ``REPRO_METRICS_PORT`` and raises if unset — use
+    :func:`ensure_server` for the env-gated auto-start.
+    """
+    global _SERVER, _SAMPLER
+    with _SERVER_LOCK:
+        if _SERVER is not None:
+            return _SERVER
+        if port is None:
+            port = metrics_port()
+            if port is None:
+                raise ValueError("REPRO_METRICS_PORT is not set")
+        _SERVER = MetricsServer(port)
+        from .sampler import ResourceSampler, sample_interval
+
+        _SAMPLER = ResourceSampler(
+            interval=sample_interval() if sample_secs is None else sample_secs
+        )
+        _SAMPLER.start()
+        return _SERVER
+
+
+def stop_server() -> None:
+    """Stop the endpoint and the sampler (test teardown / embedding)."""
+    global _SERVER, _SAMPLER
+    with _SERVER_LOCK:
+        if _SAMPLER is not None:
+            _SAMPLER.stop()
+            _SAMPLER = None
+        if _SERVER is not None:
+            _SERVER.close()
+            _SERVER = None
+
+
+def ensure_server() -> MetricsServer | None:
+    """Start the endpoint iff ``REPRO_METRICS_PORT`` is set.
+
+    The harness entry points call this unconditionally; when the gate is
+    unset it is a single environment lookup — the documented near-zero
+    disabled overhead.
+    """
+    if _SERVER is not None:
+        return _SERVER
+    if not metrics_enabled():
+        return None
+    return start_server()

@@ -1,20 +1,33 @@
-"""Run-report CLI over a JSONL trace.
+"""Run-report and ledger-diff CLI.
 
 Usage::
 
     python -m repro.obs.report trace.jsonl [--top N] [--chrome out.json]
+    python -m repro.obs.report --diff base.json new.json [thresholds...]
+    python -m repro.obs.report --diff new.json --baseline latest
 
-Prints a per-stage wall-clock breakdown (total, calls, p50/p95/max
-aggregated by span name), the perf counter summary captured at tracer
-shutdown, the parallel-execution summary (effective backend/jobs plus
-per-worker queue-wait and steal statistics when the process backend
-ran), and the slowest individual spans.  Worker *sidecar* traces
-(``trace.jsonl.wNN``, written by process-pool workers whose spans
-cannot nest under the parent's — see :mod:`repro.parallel.worker`) are
-merged in automatically; their snapshot records are dropped because the
-workers' perf registries already merge into the parent's at pool
-shutdown.  ``--chrome`` additionally converts the trace to Chrome
-trace-event JSON for Perfetto.
+**Trace mode** prints a per-stage wall-clock breakdown (total, calls,
+p50/p95/max aggregated by span name), the perf counter summary captured
+at tracer shutdown, the parallel-execution summary (effective
+backend/jobs plus per-worker queue-wait and steal statistics when the
+process backend ran), and the slowest individual spans.  Worker
+*sidecar* traces (``trace.jsonl.wNN``, written by process-pool workers
+whose spans cannot nest under the parent's — see
+:mod:`repro.parallel.worker`) are merged in automatically; their
+snapshot records are dropped because the workers' perf registries
+already merge into the parent's at pool shutdown.  Truncated or partial
+JSONL lines (a worker killed mid-write) are skipped with a warning and
+a count — the CLI only fails when a trace yields zero parseable spans.
+``--chrome`` additionally converts the trace to Chrome trace-event JSON
+for Perfetto.
+
+**Diff mode** compares two run-ledger manifests
+(:mod:`repro.obs.ledger`): ``--diff base new`` compares explicitly;
+``--diff new --baseline latest`` resolves the baseline from the
+``REPRO_RUN_LEDGER`` directory (or ``--ledger-dir``).  Thresholds are
+configurable (``--latency-ratio``, ``--hit-rate-drop``, ``--qor-tol``,
+``--min-delta-s``, ``--min-lookups``) and any regression makes the
+process exit nonzero — the CI regression gate.
 """
 
 from __future__ import annotations
@@ -29,21 +42,58 @@ from typing import Any, Sequence
 from ..eval.tables import render_table
 from .chrome import write_chrome
 
-__all__ = ["load_events", "load_events_with_sidecars", "summarize", "render_report", "main"]
+__all__ = [
+    "load_events",
+    "load_events_with_sidecars",
+    "summarize",
+    "render_report",
+    "run_diff",
+    "main",
+]
 
 
-def load_events(path: str) -> list[dict]:
-    """Parse a JSONL trace file into event records."""
+def load_events(path: str, strict: bool = False) -> list[dict]:
+    """Parse a JSONL trace file into event records.
+
+    Truncated or otherwise malformed lines — the tail a killed worker
+    left mid-write — are skipped with one warning per file and a total
+    count, so a partial trace still yields a report.  ``strict=True``
+    restores the raising behaviour for callers validating a trace they
+    just wrote.
+    """
     events = []
+    skipped = 0
+    first_bad: str | None = None
     with open(path) as fh:
         for lineno, line in enumerate(fh, 1):
             line = line.strip()
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: invalid JSON ({exc})") from exc
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: invalid JSON ({exc})"
+                    ) from exc
+                skipped += 1
+                if first_bad is None:
+                    first_bad = f"{path}:{lineno}: {exc}"
+                continue
+            if not isinstance(record, dict):
+                if strict:
+                    raise ValueError(f"{path}:{lineno}: not a JSON object")
+                skipped += 1
+                if first_bad is None:
+                    first_bad = f"{path}:{lineno}: not a JSON object"
+                continue
+            events.append(record)
+    if skipped:
+        print(
+            f"warning: {path}: skipped {skipped} unparseable line"
+            f"{'s' if skipped != 1 else ''} (first: {first_bad})",
+            file=sys.stderr,
+        )
     return events
 
 
@@ -261,13 +311,87 @@ def _attr_hint(attrs: dict, limit: int = 60) -> str:
     return text[: limit - 1] + "…" if len(text) > limit else text
 
 
+def run_diff(args: argparse.Namespace) -> int:
+    """The ``--diff`` sub-mode: compare two ledger manifests."""
+    from .ledger import (
+        Thresholds,
+        diff_manifests,
+        load_manifest,
+        render_diff,
+        resolve_run,
+    )
+
+    refs = list(args.diff)
+    if len(refs) > 2:
+        print("--diff takes at most two manifests", file=sys.stderr)
+        return 2
+    if len(refs) == 2:
+        if args.baseline:
+            print("--baseline conflicts with a two-manifest --diff", file=sys.stderr)
+            return 2
+        base_ref, new_ref = refs
+    else:
+        if not args.baseline:
+            print(
+                "--diff with one manifest needs --baseline (e.g. --baseline latest)",
+                file=sys.stderr,
+            )
+            return 2
+        new_ref, base_ref = refs[0], args.baseline
+    try:
+        new_path = resolve_run(new_ref, directory=args.ledger_dir)
+        base_path = resolve_run(
+            base_ref, directory=args.ledger_dir, exclude=new_path
+        )
+        base = load_manifest(base_path)
+        new = load_manifest(new_path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"diff failed: {exc}", file=sys.stderr)
+        return 2
+    result = diff_manifests(
+        base,
+        new,
+        Thresholds(
+            latency_ratio=args.latency_ratio,
+            min_delta_s=args.min_delta_s,
+            hit_rate_drop=args.hit_rate_drop,
+            min_lookups=args.min_lookups,
+            qor_tol=args.qor_tol,
+        ),
+    )
+    print(render_diff(result))
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", help="path to a JSONL trace (REPRO_TRACE output)")
+    parser.add_argument("trace", nargs="?",
+                        help="path to a JSONL trace (REPRO_TRACE output)")
     parser.add_argument("--top", type=int, default=10, help="slowest spans to list")
     parser.add_argument("--chrome", metavar="OUT.json",
                         help="also convert to Chrome trace-event JSON")
+    diff = parser.add_argument_group("ledger diff")
+    diff.add_argument("--diff", nargs="+", metavar="MANIFEST",
+                      help="compare run manifests: BASE NEW, or NEW with --baseline")
+    diff.add_argument("--baseline", metavar="REF",
+                      help="baseline run: a path, a run id, or 'latest'")
+    diff.add_argument("--ledger-dir", metavar="DIR",
+                      help="ledger directory (default: REPRO_RUN_LEDGER)")
+    diff.add_argument("--latency-ratio", type=float, default=1.5,
+                      help="stage p50/p95 growth factor that flags (default 1.5)")
+    diff.add_argument("--min-delta-s", type=float, default=0.001,
+                      help="absolute latency-growth floor in seconds (default 0.001)")
+    diff.add_argument("--hit-rate-drop", type=float, default=0.10,
+                      help="cache hit-rate drop that flags (default 0.10)")
+    diff.add_argument("--min-lookups", type=int, default=10,
+                      help="minimum cache lookups for comparison (default 10)")
+    diff.add_argument("--qor-tol", type=float, default=1e-6,
+                      help="relative QoR worsening tolerance (default 1e-6)")
     args = parser.parse_args(argv)
+    if args.diff:
+        return run_diff(args)
+    if not args.trace:
+        parser.error("a trace path is required unless --diff is given")
     events = load_events_with_sidecars(args.trace)
     if not any(e.get("type") == "span" for e in events):
         print(f"{args.trace}: no spans recorded", file=sys.stderr)

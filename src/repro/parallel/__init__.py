@@ -51,6 +51,7 @@ from __future__ import annotations
 import contextvars
 import os
 import pickle
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -96,6 +97,11 @@ _FALLBACK = object()
 #: Last-resolved execution info, surfaced via the ``parallel`` stats
 #: provider so run reports show the effective backend and job count.
 _LAST: dict = {"backend": None, "jobs": None, "tasks": 0}
+
+#: Tasks currently executing in this process (thread backend and process
+#: fallback), for the live queue-depth gauge on the metrics endpoint.
+_INFLIGHT_LOCK = threading.Lock()
+_INFLIGHT = 0
 
 
 def in_worker() -> bool:
@@ -182,8 +188,15 @@ def _run_task(
     submitted: float,
 ) -> R:
     """Worker-side wrapper: queue-wait timing + caller-context execution."""
+    global _INFLIGHT
     perf.add_time("eval.parallel_queue_wait", time.perf_counter() - submitted)
-    return ctx.run(_run_traced, fn, item, index, label)
+    with _INFLIGHT_LOCK:
+        _INFLIGHT += 1
+    try:
+        return ctx.run(_run_traced, fn, item, index, label)
+    finally:
+        with _INFLIGHT_LOCK:
+            _INFLIGHT -= 1
 
 
 def _run_traced(fn: Callable[[T], R], item: T, index: int, label: str) -> R:
@@ -315,3 +328,30 @@ def _parallel_stats() -> dict:
 
 
 perf.register_stats_provider("parallel", _parallel_stats)
+
+
+def _parallel_metric_families() -> list:
+    """Executor gauges for the metrics endpoint (collect-time only)."""
+    from ..obs import metrics as obs_metrics
+
+    inflight = obs_metrics.MetricFamily(
+        "repro_parallel_inflight_tasks", "gauge",
+        "Tasks currently executing in this process's executor.",
+    )
+    inflight.add(_INFLIGHT)
+    info = obs_metrics.MetricFamily(
+        "repro_parallel_info", "gauge",
+        "Effective backend/jobs of the most recent parallel_map.",
+    )
+    if _LAST["backend"] is not None:
+        info.add(1, backend=_LAST["backend"], jobs=_LAST["jobs"])
+    return [inflight, info]
+
+
+def _register_parallel_metrics() -> None:
+    from ..obs import metrics as obs_metrics
+
+    obs_metrics.register_callback("parallel", _parallel_metric_families)
+
+
+_register_parallel_metrics()

@@ -83,6 +83,17 @@ class ProcessPool:
         self.maps = 0
         self.tasks = 0
         self.steal_total = 0
+        self.created = time.perf_counter()
+        #: Cumulative per-worker telemetry (run seconds from worker task
+        #: replies; dispatch/steal counts folded in after every map) —
+        #: the utilization and steal-rate gauges on the metrics endpoint.
+        self.worker_run_s = [0.0] * size
+        self.worker_dispatched = [0] * size
+        self.worker_steals = [0] * size
+        self.worker_stolen_tasks = [0] * size
+        #: Live view of the in-flight map (scheduler + busy set), read by
+        #: the metrics collector for queue-depth gauges; None between maps.
+        self.active: dict | None = None
         ctx = get_context("spawn")
         trace_base = os.environ.get("REPRO_TRACE", "").strip() or None
         self.workers: list[_Worker] = []
@@ -173,6 +184,7 @@ class ProcessPool:
         busy: dict[int, int] = {}  # worker id -> in-flight task index
         self.maps += 1
         self.tasks += len(work)
+        self.active = {"sched": sched, "busy": busy, "label": label}
 
         def dispatch(worker: _Worker) -> None:
             index = sched.next_task(worker.id)
@@ -203,8 +215,9 @@ class ProcessPool:
                         )
                     kind = msg[0]
                     if kind == "ok":
-                        _, index, result, _run_s = msg
+                        _, index, result, run_s = msg
                         results[index] = result
+                        self.worker_run_s[worker.id] += run_s
                     elif kind == "err":
                         _, index, exc, detail = msg
                         errors[index] = (exc, detail)
@@ -213,6 +226,11 @@ class ProcessPool:
                     busy.pop(worker.id, None)
                     dispatch(worker)
         finally:
+            self.active = None
+            for wid in range(self.size):
+                self.worker_dispatched[wid] += sched.dispatched[wid]
+                self.worker_steals[wid] += sched.steals[wid]
+                self.worker_stolen_tasks[wid] += sched.stolen_tasks[wid]
             for handle in handles:
                 shm.unlink_handle(handle)
         self.steal_total += sum(sched.steals)
@@ -343,5 +361,82 @@ def pool_stats() -> dict:
         "steals": sum(p.steal_total for p in pools),
     }
 
+
+def _pool_metric_families() -> list:
+    """Live pool gauges for the metrics endpoint (collect-time only).
+
+    Reads the in-flight scheduler/busy view without locks: the GIL makes
+    ``len(deque)`` and dict snapshots safe, the values are monotone
+    approximations anyway, and a scrape must never slow the dispatch
+    loop.  Emits nothing when no pool is warm.
+    """
+    from ..obs import metrics as obs_metrics
+
+    pools = [p for p in _POOLS.values() if not p.closed]
+    if not pools:
+        return []
+    depth = obs_metrics.MetricFamily(
+        "repro_pool_queue_depth", "gauge",
+        "Tasks queued per process-pool worker (in-flight map only).",
+    )
+    busy_f = obs_metrics.MetricFamily(
+        "repro_pool_worker_busy", "gauge",
+        "1 while a worker has a task in flight.",
+    )
+    util = obs_metrics.MetricFamily(
+        "repro_pool_worker_utilization", "gauge",
+        "Fraction of pool lifetime each worker spent running tasks.",
+    )
+    steal_rate = obs_metrics.MetricFamily(
+        "repro_pool_worker_steal_rate", "gauge",
+        "Steals per dispatched task, per worker (cumulative).",
+    )
+    tasks_total = obs_metrics.MetricFamily(
+        "repro_pool_worker_tasks_total", "counter",
+        "Tasks dispatched to each worker (completed maps).",
+    )
+    steals_total = obs_metrics.MetricFamily(
+        "repro_pool_worker_steals_total", "counter",
+        "Steal events per worker (completed maps).",
+    )
+    summary = obs_metrics.MetricFamily(
+        "repro_pool_workers_alive", "gauge", "Live process-pool workers."
+    )
+    now = time.perf_counter()
+    for pool_index, pool in enumerate(pools):
+        pool_label = f"p{pool_index}"
+        summary.add(
+            sum(w.process.is_alive() for w in pool.workers), pool=pool_label
+        )
+        active = pool.active
+        sched = active["sched"] if active else None
+        busy = dict(active["busy"]) if active else {}
+        age = max(now - pool.created, 1e-9)
+        for wid in range(pool.size):
+            worker = f"w{wid:02d}"
+            if sched is not None:
+                try:
+                    depth.add(len(sched.queues[wid]), pool=pool_label, worker=worker)
+                except IndexError:
+                    pass
+            busy_f.add(int(wid in busy), pool=pool_label, worker=worker)
+            util.add(pool.worker_run_s[wid] / age, pool=pool_label, worker=worker)
+            dispatched = pool.worker_dispatched[wid]
+            steal_rate.add(
+                pool.worker_steals[wid] / dispatched if dispatched else 0.0,
+                pool=pool_label, worker=worker,
+            )
+            tasks_total.add(dispatched, pool=pool_label, worker=worker)
+            steals_total.add(pool.worker_steals[wid], pool=pool_label, worker=worker)
+    return [depth, busy_f, util, steal_rate, tasks_total, steals_total, summary]
+
+
+def _register_pool_metrics() -> None:
+    from ..obs import metrics as obs_metrics
+
+    obs_metrics.register_callback("parallel_pool", _pool_metric_families)
+
+
+_register_pool_metrics()
 
 atexit.register(shutdown_pools)

@@ -90,6 +90,50 @@ class _Reservoir:
         rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
         return ordered[rank]
 
+    def merge_from(self, samples: list[float], seen: int, max_value: float) -> None:
+        """Fold another reservoir's bounded sample into this one, weighted.
+
+        Each retained sample stands for ``seen / len(samples)`` original
+        observations (a reservoir is a uniform sample of everything its
+        owner saw), so merging must weight by source call counts: a
+        worker that timed 10,000 calls deserves 100x the representation
+        of one that timed 100, even though both exported at most
+        :data:`RESERVOIR_CAPACITY` samples.  An unweighted merge —
+        feeding donor samples through :meth:`add` one by one — lets the
+        smaller source crowd the reservoir and biases p50/p95 toward its
+        distribution.
+
+        Selection is weighted sampling without replacement
+        (Efraimidis–Spirakis A-Res: key ``u^(1/w)``, keep the largest
+        keys), driven by this reservoir's seeded RNG so merges stay
+        deterministic for a given call sequence.
+        """
+        if max_value > self.max:
+            self.max = max_value
+        if not samples:
+            self.seen += max(0, seen)
+            return
+        seen = max(seen, len(samples))
+        pool: list[tuple[float, float]] = []
+        if self.samples:
+            own_weight = self.seen / len(self.samples)
+            pool.extend((value, own_weight) for value in self.samples)
+        donor_weight = seen / len(samples)
+        pool.extend((value, donor_weight) for value in samples)
+        if len(pool) <= RESERVOIR_CAPACITY:
+            self.samples = [value for value, _ in pool]
+        else:
+            keyed = sorted(
+                (
+                    (self._rng.random() ** (1.0 / weight), value)
+                    for value, weight in pool
+                ),
+                key=lambda kv: kv[0],
+                reverse=True,
+            )
+            self.samples = [value for _, value in keyed[:RESERVOIR_CAPACITY]]
+        self.seen += seen
+
 
 class PerfRegistry:
     """Thread-safe registry of named counters and accumulated timers."""
@@ -205,6 +249,7 @@ class PerfRegistry:
                         "total_s": total,
                         "calls": self._time_calls.get(name, 0),
                         "samples": list(self._time_samples[name].samples),
+                        "seen": self._time_samples[name].seen,
                         "max_s": self._time_samples[name].max,
                     }
                     for name, total in self._time_total.items()
@@ -215,8 +260,12 @@ class PerfRegistry:
         """Fold another registry's :meth:`export_state` into this one.
 
         Counter values, timer totals and call counts add exactly; the
-        donor's (bounded) duration samples feed this registry's reservoirs,
-        so merged percentiles are estimates while ``max_s`` stays exact.
+        donor's (bounded) duration samples merge into this registry's
+        reservoirs **weighted by source call counts**
+        (:meth:`_Reservoir.merge_from`), so percentiles after a
+        multi-worker merge estimate the pooled distribution instead of
+        over-representing whichever source exported fewer calls; ``max_s``
+        stays exact.
         """
         for name, value in state.get("counters", {}).items():
             self.incr(name, value)
@@ -231,10 +280,13 @@ class PerfRegistry:
                 reservoir = self._time_samples.get(name)
                 if reservoir is None:
                     reservoir = self._time_samples[name] = _Reservoir()
-                for sample in entry.get("samples", ()):
-                    reservoir.add(sample)
-                if entry.get("max_s", 0.0) > reservoir.max:
-                    reservoir.max = entry["max_s"]
+                reservoir.merge_from(
+                    list(entry.get("samples", ())),
+                    # Older exports lack "seen"; calls equals seen for a
+                    # registry that only ever saw add_time().
+                    entry.get("seen", entry.get("calls", 0)),
+                    entry.get("max_s", 0.0),
+                )
 
 
 #: The process-global registry used by the module-level helpers.

@@ -212,10 +212,13 @@ class SynthesisCache:
 
     def stats(self) -> dict:
         with self._lock:
+            lookups = self.hits + self.misses
             return {
                 "entries": len(self._entries),
+                "capacity": self.max_entries,
                 "hits": self.hits,
                 "misses": self.misses,
+                "hit_ratio": round(self.hits / lookups, 6) if lookups else 0.0,
                 "disk_hits": self.disk_hits,
                 "disk_writes": self.disk_writes,
             }
@@ -337,10 +340,13 @@ class FrontendCache:
     def stats(self) -> dict:
         enabled, disk_dir = frontend_cache_mode()
         with self._lock:
+            lookups = self.hits + self.misses
             return {
                 "entries": len(self._entries),
+                "capacity": self.max_entries,
                 "hits": self.hits,
                 "misses": self.misses,
+                "hit_ratio": round(self.hits / lookups, 6) if lookups else 0.0,
                 "disk_hits": self.disk_hits,
                 "disk_writes": self.disk_writes,
                 "disk_dir": disk_dir,

@@ -6,8 +6,21 @@ probing.  Both support cosine, inner-product and L2 metrics and store an
 arbitrary payload per vector.
 """
 
-from .flat import FlatIndex, SearchResult
+from .flat import FlatIndex, SearchResult, live_index_stats
 from .ivf import IVFIndex
 from .metrics import METRICS, pairwise_scores
 
-__all__ = ["FlatIndex", "IVFIndex", "SearchResult", "METRICS", "pairwise_scores"]
+from .. import perf
+
+__all__ = [
+    "FlatIndex",
+    "IVFIndex",
+    "SearchResult",
+    "METRICS",
+    "pairwise_scores",
+    "live_index_stats",
+]
+
+# Surface aggregate live-index size in perf snapshots — and, through the
+# perf bridge, as vectorstore gauges on the metrics endpoint.
+perf.register_stats_provider("vectorstore", live_index_stats)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -9,7 +10,22 @@ import numpy as np
 
 from .metrics import pairwise_scores
 
-__all__ = ["SearchResult", "FlatIndex"]
+__all__ = ["SearchResult", "FlatIndex", "live_index_stats"]
+
+#: Every live index, tracked weakly so the ``vectorstore`` stats provider
+#: (and the metrics endpoint behind it) can report aggregate index size
+#: without keeping retired indexes alive.
+_LIVE_INDEXES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def live_index_stats() -> dict:
+    """Aggregate size of every live index (``vectorstore`` provider)."""
+    indexes = list(_LIVE_INDEXES)
+    return {
+        "indexes": len(indexes),
+        "vectors": sum(len(ix) for ix in indexes),
+        "rebuilds": sum(getattr(ix, "rebuilds", 0) for ix in indexes),
+    }
 
 
 @dataclass(frozen=True)
@@ -46,6 +62,7 @@ class FlatIndex:
         self._size = 0
         #: Number of matrix reallocations (capacity doublings + removals).
         self.rebuilds = 0
+        _LIVE_INDEXES.add(self)
 
     def __len__(self) -> int:
         return self._size

@@ -86,6 +86,9 @@ class IVFIndex:
         self._rows: list[np.ndarray] = []
         self._centroids: np.ndarray | None = None
         self._cells: list[list[int]] | None = None
+        from .flat import _LIVE_INDEXES
+
+        _LIVE_INDEXES.add(self)
 
     def __len__(self) -> int:
         return len(self._keys)

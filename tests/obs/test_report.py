@@ -138,8 +138,39 @@ class TestCLI:
         trace = write_trace(tmp_path / "trace.jsonl", [{"type": "meta"}])
         assert main([trace]) == 1
 
-    def test_load_events_rejects_bad_json(self, tmp_path):
+    def test_load_events_strict_rejects_bad_json(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"type": "span"\nnot json\n')
         with pytest.raises(ValueError, match="invalid JSON"):
-            load_events(str(path))
+            load_events(str(path), strict=True)
+
+    def test_load_events_skips_bad_lines_by_default(self, tmp_path, capsys):
+        """A truncated tail (worker killed mid-write) must not lose the run."""
+        path = tmp_path / "torn.jsonl"
+        good = {"type": "span", "name": "a", "trace": "t", "span": "s",
+                "parent": None, "ts": 0.0, "dur": 0.1, "tid": 1,
+                "tname": "MainThread", "attrs": {}}
+        path.write_text(
+            json.dumps(good) + "\n"
+            + '{"type": "span", "name": "trunca'  # torn mid-record
+            + "\n[1, 2, 3]\n"  # valid JSON but not an object
+        )
+        events = load_events(str(path))
+        assert [e["name"] for e in events] == ["a"]
+        err = capsys.readouterr().err
+        assert "skipped 2 unparseable lines" in err
+        assert "torn.jsonl:2" in err  # first bad location reported
+
+    def test_main_survives_truncated_trace(self, tmp_path, capsys):
+        events = canned_events()
+        trace = tmp_path / "trace.jsonl"
+        text = "\n".join(json.dumps(e) for e in events) + "\n"
+        trace.write_text(text + '{"type": "span", "name": "to')  # torn tail
+        assert main([str(trace)]) == 0
+        assert "Per-stage time breakdown" in capsys.readouterr().out
+
+    def test_main_fails_when_no_line_parses(self, tmp_path, capsys):
+        trace = tmp_path / "all_torn.jsonl"
+        trace.write_text('{"a\n{"b\n')
+        assert main([str(trace)]) == 1
+        assert "no spans recorded" in capsys.readouterr().err

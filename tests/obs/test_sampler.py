@@ -1,0 +1,79 @@
+"""Resource sampler tests (procfs readers + the gauge-setting loop)."""
+
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import (
+    DEFAULT_SAMPLE_SECS,
+    ResourceSampler,
+    count_open_fds,
+    read_rss_bytes,
+    sample_interval,
+)
+
+
+class TestReaders:
+    def test_rss_positive(self):
+        rss = read_rss_bytes()
+        assert rss is not None and rss > 1024 * 1024  # a CPython process
+
+    def test_open_fds_positive(self):
+        fds = count_open_fds()
+        assert fds is not None and fds >= 3  # stdio at minimum
+
+
+class TestInterval:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_METRICS_SAMPLE_SECS", raising=False)
+        assert sample_interval() == DEFAULT_SAMPLE_SECS
+
+    def test_env_override_and_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS_SAMPLE_SECS", "2.5")
+        assert sample_interval() == 2.5
+        monkeypatch.setenv("REPRO_METRICS_SAMPLE_SECS", "0.001")
+        assert sample_interval() == 0.05  # floored
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS_SAMPLE_SECS", "soon")
+        with pytest.raises(ValueError, match="must be a number"):
+            sample_interval()
+
+
+class TestResourceSampler:
+    def test_start_primes_gauges_synchronously(self):
+        reg = MetricsRegistry()
+        sampler = ResourceSampler(interval=60.0, registry=reg)
+        sampler.start()
+        try:
+            assert sampler.samples == 1  # no loop tick needed
+            names = {f.name for f in reg.collect()}
+            assert "repro_process_rss_bytes" in names
+            assert "repro_process_threads" in names
+            assert "repro_process_gc_collections_total" in names
+            assert reg.gauge("repro_process_rss_bytes").value() > 0
+            assert reg.gauge("repro_process_threads").value() >= 1
+        finally:
+            sampler.stop()
+
+    def test_loop_samples_on_period(self):
+        reg = MetricsRegistry()
+        sampler = ResourceSampler(interval=0.05, registry=reg)
+        sampler.start()
+        try:
+            deadline = time.time() + 5.0
+            while sampler.samples < 3 and time.time() < deadline:
+                time.sleep(0.02)
+            assert sampler.samples >= 3
+            assert reg.gauge("repro_process_uptime_seconds").value() > 0
+        finally:
+            sampler.stop()
+
+    def test_stop_is_idempotent_and_start_after_start_is_noop(self):
+        sampler = ResourceSampler(interval=60.0, registry=MetricsRegistry())
+        assert sampler.start() is sampler
+        assert sampler.start() is sampler
+        assert sampler.samples == 1
+        sampler.stop()
+        sampler.stop()

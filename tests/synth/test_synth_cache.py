@@ -48,6 +48,7 @@ class TestSynthesisCache:
         assert got is not None and got.success
         assert cache.stats() == {
             "entries": 1, "hits": 1, "misses": 1, "disk_hits": 0, "disk_writes": 0,
+            "capacity": 4, "hit_ratio": 0.5,
         }
 
     def test_values_are_isolated_copies(self, cache):
@@ -73,6 +74,7 @@ class TestSynthesisCache:
         assert len(cache) == 0
         assert cache.stats() == {
             "entries": 0, "hits": 0, "misses": 0, "disk_hits": 0, "disk_writes": 0,
+            "capacity": 4, "hit_ratio": 0.0,
         }
 
     def test_thread_safety(self, cache):

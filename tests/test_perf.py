@@ -2,6 +2,8 @@
 
 import threading
 
+import pytest
+
 from repro import perf
 from repro.perf import PerfRegistry
 
@@ -126,6 +128,104 @@ class TestStatsProviders:
         assert "synthesis" in caches and "netlist" in caches
         for stats in (caches["synthesis"], caches["netlist"]):
             assert {"entries", "hits", "misses"} <= set(stats)
+
+
+class TestReservoirMerge:
+    def test_export_includes_seen(self):
+        reg = PerfRegistry()
+        for _ in range(1000):
+            reg.add_time("t", 0.001)
+        entry = reg.export_state()["timers"]["t"]
+        assert entry["seen"] == 1000
+        assert len(entry["samples"]) == perf.RESERVOIR_CAPACITY
+
+    def test_merge_adds_totals_calls_and_exact_max(self):
+        donor = PerfRegistry()
+        donor.add_time("t", 0.002)
+        donor.add_time("t", 9.0)
+        target = PerfRegistry()
+        target.add_time("t", 0.001)
+        target.merge_state(donor.export_state())
+        snap = target.snapshot()["timers"]["t"]
+        assert snap["calls"] == 3
+        assert snap["total_s"] == round(9.003, 6)
+        assert snap["max_s"] == 9.0
+
+    def test_merge_weights_by_source_call_counts(self):
+        """Skewed sources: a 10x-busier worker deserves 10x representation.
+
+        Donor A timed 2560 calls at ~1ms; donor B timed 256 calls at
+        ~100ms.  Both export at most RESERVOIR_CAPACITY samples, so an
+        unweighted merge fills the target reservoir ~50/50 and drags the
+        pooled p50 from 1ms toward 100ms.  The weighted merge must keep
+        the slow population near its true 1-in-11 share.
+        """
+        donor_a = PerfRegistry()
+        for _ in range(2560):
+            donor_a.add_time("t", 0.001)
+        donor_b = PerfRegistry()
+        for _ in range(256):
+            donor_b.add_time("t", 0.100)
+        target = PerfRegistry()
+        target.merge_state(donor_a.export_state())
+        target.merge_state(donor_b.export_state())
+
+        reservoir = target._time_samples["t"]
+        assert reservoir.seen == 2816
+        assert len(reservoir.samples) == perf.RESERVOIR_CAPACITY
+        slow_share = sum(1 for s in reservoir.samples if s == 0.100) / len(
+            reservoir.samples
+        )
+        # True share is 256/2816 ~= 9.1%; unweighted merging lands ~50%.
+        assert 0.02 <= slow_share <= 0.25
+
+        snap = target.snapshot()["timers"]["t"]
+        assert snap["p50_s"] == pytest.approx(0.001)
+        assert snap["max_s"] == 0.100
+
+    def test_merge_is_deterministic(self):
+        def merged():
+            donor = PerfRegistry()
+            for i in range(3000):
+                donor.add_time("t", (i % 37) / 1000.0)
+            target = PerfRegistry()
+            for i in range(500):
+                target.add_time("t", (i % 11) / 1000.0)
+            target.merge_state(donor.export_state())
+            return target.snapshot()["timers"]["t"]
+
+        assert merged() == merged()
+
+    def test_merge_tolerates_legacy_state_without_seen(self):
+        # Older exports carried only calls; calls == seen for a registry
+        # that never merged, so the fallback is exact, not approximate.
+        target = PerfRegistry()
+        target.merge_state(
+            {
+                "counters": {},
+                "timers": {
+                    "t": {"total_s": 0.5, "calls": 5,
+                          "samples": [0.1] * 5, "max_s": 0.1},
+                },
+            }
+        )
+        reservoir = target._time_samples["t"]
+        assert reservoir.seen == 5
+        assert target.snapshot()["timers"]["t"]["calls"] == 5
+
+    def test_merge_empty_donor_samples_only_counts_seen(self):
+        target = PerfRegistry()
+        target.add_time("t", 0.001)
+        before = list(target._time_samples["t"].samples)
+        target.merge_state(
+            {"counters": {}, "timers": {"t": {"total_s": 1.0, "calls": 10,
+                                              "samples": [], "seen": 10,
+                                              "max_s": 2.0}}}
+        )
+        reservoir = target._time_samples["t"]
+        assert reservoir.samples == before
+        assert reservoir.seen == 11
+        assert reservoir.max == 2.0
 
 
 class TestModuleRegistry:
