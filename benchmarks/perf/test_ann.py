@@ -1,0 +1,118 @@
+"""HNSW ANN retrieval vs exact FlatIndex at scale.
+
+Acceptance (ISSUE 8): on a synthetic clustered corpus (default 100k
+vectors, dim 64 — scale with ``REPRO_BENCH_ANN_N``, up to 1M) the HNSW
+index must deliver >= 10x single-query QPS over brute force at 100k+
+while keeping recall@10 >= 0.95 against FlatIndex ground truth.  Also
+records build time, p50/p95 query latency, batched QPS and graph size
+under the ``ann`` section of ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.vectorstore import FlatIndex, HNSWIndex
+
+N = int(os.environ.get("REPRO_BENCH_ANN_N", "100000"))
+DIM = 64
+N_QUERIES = 200
+K = 10
+M = 12
+EF_CONSTRUCTION = 48
+EF_SEARCH = 64
+
+
+def _corpus(n: int, dim: int, seed: int = 0) -> np.ndarray:
+    """Clustered Gaussian data — embedding-like, not uniform noise."""
+    rng = np.random.default_rng(seed)
+    n_clusters = max(16, n // 400)
+    centers = rng.normal(scale=10.0, size=(n_clusters, dim)).astype(np.float32)
+    assign = rng.integers(0, n_clusters, size=n)
+    return centers[assign] + rng.normal(scale=1.0, size=(n, dim)).astype(np.float32)
+
+
+def _time_single(index, queries, k):
+    latencies = []
+    for query in queries:
+        start = time.perf_counter()
+        index.search(query, k=k)
+        latencies.append(time.perf_counter() - start)
+    lat = np.asarray(latencies)
+    return {
+        "qps": round(len(queries) / lat.sum(), 1),
+        "p50_ms": round(float(np.percentile(lat, 50)) * 1e3, 3),
+        "p95_ms": round(float(np.percentile(lat, 95)) * 1e3, 3),
+    }
+
+
+def _time_batch(index, queries, k):
+    start = time.perf_counter()
+    index.search_batch(queries, k=k)
+    return round(len(queries) / (time.perf_counter() - start), 1)
+
+
+def test_ann_speedup_and_recall(bench_results):
+    data = _corpus(N, DIM)
+    rng = np.random.default_rng(1)
+    queries = data[rng.integers(0, N, size=N_QUERIES)] + rng.normal(
+        scale=0.1, size=(N_QUERIES, DIM)
+    ).astype(np.float32)
+
+    flat = FlatIndex(dim=DIM, metric="cosine")
+    flat.add_batch(range(N), data)
+
+    hnsw = HNSWIndex(
+        dim=DIM, metric="cosine", M=M, ef_construction=EF_CONSTRUCTION,
+        ef_search=EF_SEARCH, seed=0,
+    )
+    start = time.perf_counter()
+    hnsw.add_batch(range(N), data)
+    build_s = time.perf_counter() - start
+
+    # Ground truth once (batched exact), then recall + timing.
+    truth = flat.search_batch(queries, k=K)
+    approx = hnsw.search_batch(queries, k=K)
+    hits = sum(
+        len({r.key for r in t} & {r.key for r in a})
+        for t, a in zip(truth, approx)
+    )
+    recall = hits / (K * N_QUERIES)
+
+    # Single-query path is what the retrievers actually call; time the
+    # flat baseline on a subset (it is the slow side at 100k+).
+    flat_single = _time_single(flat, queries[:50], K)
+    hnsw_single = _time_single(hnsw, queries, K)
+    flat_batch_qps = _time_batch(flat, queries, K)
+    hnsw_batch_qps = _time_batch(hnsw, queries, K)
+
+    single_speedup = hnsw_single["qps"] / flat_single["qps"]
+    batch_speedup = hnsw_batch_qps / flat_batch_qps
+
+    assert recall >= 0.95, f"recall@{K} {recall:.3f} below floor"
+    if N >= 100_000:
+        assert single_speedup >= 10.0, f"single-query speedup {single_speedup:.1f}x"
+    else:
+        # Small smoke corpora (CI) still have to show a real win.
+        assert single_speedup >= 3.0, f"single-query speedup {single_speedup:.1f}x"
+
+    counters = hnsw.search_counters()
+    bench_results["ann"] = {
+        "n_vectors": N,
+        "dim": DIM,
+        "n_queries": N_QUERIES,
+        "k": K,
+        "params": {"M": M, "ef_construction": EF_CONSTRUCTION, "ef_search": EF_SEARCH},
+        "build_s": round(build_s, 2),
+        "recall_at_10": round(recall, 4),
+        "graph_edges": counters["graph_edges"],
+        "flat_single": flat_single,
+        "hnsw_single": hnsw_single,
+        "flat_batch_qps": flat_batch_qps,
+        "hnsw_batch_qps": hnsw_batch_qps,
+        "single_speedup": round(single_speedup, 1),
+        "batch_speedup": round(batch_speedup, 1),
+    }

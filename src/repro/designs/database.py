@@ -17,7 +17,7 @@ from ..mentor.circuit_graph import build_circuit_graph
 from ..mentor.embeddings import CircuitEncoder
 from ..synth.dcshell import DCShell
 from ..synth.reports import QoRSnapshot
-from ..vectorstore import FlatIndex
+from ..vectorstore import make_index
 from .chipyard import SoCDesign, generate_corpus
 
 __all__ = ["Strategy", "STRATEGIES", "DatabaseEntry", "ExpertDatabase", "build_default_database"]
@@ -150,8 +150,10 @@ class ExpertDatabase:
     def __init__(self, encoder: CircuitEncoder) -> None:
         self.encoder = encoder
         self.entries: dict[str, DatabaseEntry] = {}
-        self.design_index = FlatIndex(dim=encoder.embedding_dim, metric="cosine")
-        self.module_index = FlatIndex(dim=encoder.embedding_dim, metric="cosine")
+        # Index choice rides the REPRO_ANN gate: exact FlatIndex by
+        # default, HNSW + exact rerank for million-module corpora.
+        self.design_index = make_index(dim=encoder.embedding_dim, metric="cosine")
+        self.module_index = make_index(dim=encoder.embedding_dim, metric="cosine")
 
     def add_design(
         self,

@@ -21,7 +21,7 @@ from ..graphdb import GraphStore, execute
 from ..llm.base import LLMClient
 from ..synth.library import TechLibrary
 from ..textembed import HashingEmbedder
-from ..vectorstore import FlatIndex, SearchResult
+from ..vectorstore import SearchResult, make_index
 from .manual import ManualEntry, manual_corpus
 from .rerank import LLMReranker, domain_rerank
 
@@ -226,7 +226,9 @@ class ManualRetriever:
         corpus_texts = [e.text for e in self.entries]
         self.embedder = embedder or HashingEmbedder(dim=256).fit_idf(corpus_texts)
         self.reranker = reranker
-        self.index = FlatIndex(dim=self.embedder.dim, metric="cosine")
+        # REPRO_ANN=0 (default): exact FlatIndex, bit-identical retrieval;
+        # REPRO_ANN=1: HNSW shortlist + exact rerank for large manuals.
+        self.index = make_index(dim=self.embedder.dim, metric="cosine")
         for entry in self.entries:
             self.index.add(entry.command, self.embedder.embed(entry.text), payload=entry)
 

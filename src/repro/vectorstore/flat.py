@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
+import os
 import weakref
 from dataclasses import dataclass
 from typing import Any, Sequence
 
 import numpy as np
 
-from .metrics import pairwise_scores
+from .metrics import METRICS, pairwise_scores
+from .storage import VectorArena
 
-__all__ = ["SearchResult", "FlatIndex", "live_index_stats"]
+__all__ = ["SearchResult", "FlatIndex", "live_index_stats", "topk_order"]
 
 #: Every live index, tracked weakly so the ``vectorstore`` stats provider
 #: (and the metrics endpoint behind it) can report aggregate index size
@@ -19,13 +21,45 @@ _LIVE_INDEXES: "weakref.WeakSet" = weakref.WeakSet()
 
 
 def live_index_stats() -> dict:
-    """Aggregate size of every live index (``vectorstore`` provider)."""
+    """Aggregate health of every live index (``vectorstore`` provider).
+
+    Beyond raw size, the ANN indexes contribute graph shape and search
+    effort counters (hops, distance evaluations, brute-force fallbacks)
+    so the metrics endpoint can watch retrieval cost drift as corpora
+    grow — a cheap recall proxy: effort per query collapsing while the
+    corpus grows is the signature of a degraded graph.
+    """
     indexes = list(_LIVE_INDEXES)
-    return {
+    totals = {
         "indexes": len(indexes),
         "vectors": sum(len(ix) for ix in indexes),
         "rebuilds": sum(getattr(ix, "rebuilds", 0) for ix in indexes),
+        "graph_edges": 0,
+        "searches": 0,
+        "hops": 0,
+        "dist_evals": 0,
+        "exhaustive_searches": 0,
     }
+    for ix in indexes:
+        counters = getattr(ix, "search_counters", None)
+        if callable(counters):
+            for name, value in counters().items():
+                totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+def topk_order(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, best first.
+
+    The shared selection kernel: every index funnels its final ranking
+    through this so tie handling is identical across exact search, ANN
+    rerank and the batched paths.
+    """
+    k = min(k, scores.shape[-1])
+    if k <= 0:
+        return np.empty(0, dtype=np.intp)
+    top = np.argpartition(-scores, k - 1)[:k]
+    return top[np.argsort(-scores[top])]
 
 
 @dataclass(frozen=True)
@@ -44,55 +78,51 @@ class FlatIndex:
     (any object — SynthRAG stores strategy records here).  ``search``
     returns the top-k entries by the chosen metric, largest score first.
 
-    Storage is a preallocated matrix that doubles in capacity when full,
+    Storage is a :class:`~repro.vectorstore.storage.VectorArena`: one
+    preallocated contiguous matrix that doubles in capacity when full,
     so interleaved add/search streams cost O(1) amortized per add — a
     search never triggers a rebuild, and only capacity growth (or a
-    ``remove``) reallocates.  ``rebuilds`` counts those reallocations.
+    mmap materialization) reallocates.  ``rebuilds`` counts those
+    reallocations.  ``remove`` swaps the last row into the hole, so it
+    is O(dim) and touches exactly one key position.
     """
 
-    def __init__(self, dim: int, metric: str = "cosine") -> None:
-        if dim <= 0:
-            raise ValueError("dim must be positive")
-        self.dim = dim
+    def __init__(
+        self, dim: int, metric: str = "cosine", dtype: Any = np.float64
+    ) -> None:
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}")
+        self._arena = VectorArena(dim, dtype=dtype)
         self.metric = metric
         self._keys: list[Any] = []
         self._payloads: list[Any] = []
         self._key_pos: dict[Any, int] = {}
-        self._matrix = np.empty((0, dim), dtype=np.float64)
-        self._size = 0
-        #: Number of matrix reallocations (capacity doublings + removals).
-        self.rebuilds = 0
+        self._searches = 0
         _LIVE_INDEXES.add(self)
 
+    @property
+    def dim(self) -> int:
+        return self._arena.dim
+
+    @property
+    def rebuilds(self) -> int:
+        """Matrix reallocations (capacity doublings + mmap detach)."""
+        return self._arena.rebuilds
+
     def __len__(self) -> int:
-        return self._size
+        return len(self._arena)
 
     def __contains__(self, key: Any) -> bool:
         return key in self._key_pos
 
-    def _grow(self, minimum: int) -> None:
-        capacity = max(4, self._matrix.shape[0])
-        while capacity < minimum:
-            capacity *= 2
-        grown = np.empty((capacity, self.dim), dtype=np.float64)
-        grown[: self._size] = self._matrix[: self._size]
-        self._matrix = grown
-        self.rebuilds += 1
-
     def add(self, key: Any, vector: Sequence[float], payload: Any = None) -> None:
         """Insert one vector; duplicate keys are rejected."""
-        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
-        if vector.shape[0] != self.dim:
-            raise ValueError(f"expected dim {self.dim}, got {vector.shape[0]}")
         if key in self._key_pos:
             raise ValueError(f"duplicate key {key!r}")
-        if self._size == self._matrix.shape[0]:
-            self._grow(self._size + 1)
-        self._matrix[self._size] = vector
-        self._key_pos[key] = self._size
+        position = self._arena.append(vector)
+        self._key_pos[key] = position
         self._keys.append(key)
         self._payloads.append(payload)
-        self._size += 1
 
     def add_batch(
         self,
@@ -100,43 +130,117 @@ class FlatIndex:
         vectors: np.ndarray,
         payloads: Sequence[Any] | None = None,
     ) -> None:
-        vectors = np.asarray(vectors, dtype=np.float64)
-        payloads = payloads if payloads is not None else [None] * len(keys)
-        if len(keys) and self._size + len(keys) > self._matrix.shape[0]:
-            self._grow(self._size + len(keys))
-        for key, vec, payload in zip(keys, vectors, payloads):
-            self.add(key, vec, payload)
+        """Insert many vectors as one contiguous block copy."""
+        keys = list(keys)
+        if not keys:
+            return
+        payloads = list(payloads) if payloads is not None else [None] * len(keys)
+        if len(payloads) != len(keys):
+            raise ValueError("payloads length must match keys")
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=self._arena.dtype))
+        if vectors.shape[0] != len(keys):
+            raise ValueError("vectors row count must match keys")
+        fresh = set()
+        for key in keys:
+            if key in self._key_pos or key in fresh:
+                raise ValueError(f"duplicate key {key!r}")
+            fresh.add(key)
+        positions = self._arena.extend(vectors)
+        for key, position in zip(keys, positions):
+            self._key_pos[key] = position
+        self._keys.extend(keys)
+        self._payloads.extend(payloads)
 
     def remove(self, key: Any) -> None:
+        """Swap-with-last removal: O(dim), one ``_key_pos`` update."""
         idx = self._key_pos.pop(key)
-        del self._keys[idx], self._payloads[idx]
-        self._matrix = np.delete(self._matrix[: self._size], idx, axis=0)
-        self._size -= 1
-        self.rebuilds += 1
-        for moved in range(idx, self._size):
-            self._key_pos[self._keys[moved]] = moved
+        moved_from = self._arena.swap_remove(idx)
+        last = len(self._keys) - 1
+        if moved_from is not None:
+            moved_key = self._keys[last]
+            self._keys[idx] = moved_key
+            self._payloads[idx] = self._payloads[last]
+            self._key_pos[moved_key] = idx
+        del self._keys[last], self._payloads[last]
 
     def get_vector(self, key: Any) -> np.ndarray:
-        return self._matrix[self._key_pos[key]].copy()
+        return np.array(self._arena.row(self._key_pos[key]), dtype=np.float64)
 
     def _database(self) -> np.ndarray:
-        return self._matrix[: self._size]
+        return self._arena.view()
 
     def search(self, query: Sequence[float], k: int = 5) -> list[SearchResult]:
         """Top-``k`` entries closest to ``query`` (largest score first)."""
-        if not self._size:
+        if not len(self):
             return []
         query = np.asarray(query, dtype=np.float64).reshape(1, -1)
         if query.shape[1] != self.dim:
             raise ValueError(f"expected dim {self.dim}, got {query.shape[1]}")
+        self._searches += 1
         scores = pairwise_scores(query, self._database(), self.metric)[0]
-        k = min(k, len(scores))
-        top = np.argpartition(-scores, k - 1)[:k]
-        top = top[np.argsort(-scores[top])]
+        top = topk_order(scores, k)
         return [
             SearchResult(key=self._keys[i], score=float(scores[i]), payload=self._payloads[i])
             for i in top
         ]
 
     def search_batch(self, queries: np.ndarray, k: int = 5) -> list[list[SearchResult]]:
-        return [self.search(q, k) for q in np.atleast_2d(queries)]
+        """Batched exact search: one stacked distance computation.
+
+        All queries score against the arena in a single
+        ``(B, n)`` kernel call, then each row is ranked independently —
+        the per-query numpy dispatch overhead is paid once per batch.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {queries.shape[1]}")
+        if not len(self):
+            return [[] for _ in range(queries.shape[0])]
+        self._searches += queries.shape[0]
+        scores = pairwise_scores(queries, self._database(), self.metric)
+        out: list[list[SearchResult]] = []
+        for row in scores:
+            top = topk_order(row, k)
+            out.append(
+                [
+                    SearchResult(
+                        key=self._keys[i], score=float(row[i]), payload=self._payloads[i]
+                    )
+                    for i in top
+                ]
+            )
+        return out
+
+    def search_counters(self) -> dict:
+        return {"searches": self._searches}
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, prefix: str | os.PathLike) -> None:
+        """Persist to ``<prefix>.npy`` + ``<prefix>.json``.
+
+        Keys and payloads land in the JSON sidecar, so both must be
+        JSON-serializable (payloads default to ``None``, which is).
+        """
+        self._arena.save(
+            prefix,
+            sidecar={
+                "index": "flat",
+                "metric": self.metric,
+                "keys": self._keys,
+                "payloads": self._payloads,
+            },
+        )
+
+    @classmethod
+    def load(cls, prefix: str | os.PathLike, mmap: bool = True) -> "FlatIndex":
+        """Reopen a saved index; ``mmap=True`` maps vectors zero-copy."""
+        arena, sidecar = VectorArena.load(prefix, mmap=mmap)
+        index = cls(arena.dim, metric=sidecar["metric"], dtype=arena.dtype)
+        index._arena = arena
+        index._keys = list(sidecar["keys"])
+        index._payloads = list(sidecar["payloads"])
+        index._key_pos = {key: i for i, key in enumerate(index._keys)}
+        if len(index._keys) != len(arena):
+            raise ValueError("sidecar keys do not match stored vectors")
+        return index

@@ -1,0 +1,665 @@
+"""Graph-based HNSW approximate nearest-neighbour index.
+
+Hierarchical Navigable Small World (Malkov & Yashunin, 2018) over the
+contiguous :class:`~repro.vectorstore.storage.VectorArena`: a stack of
+proximity graphs where layer ``l`` holds a geometrically-thinning subset
+of the corpus.  A query greedily descends the sparse upper layers to a
+good entry point, then runs a best-first beam search (width
+``ef_search``) over the dense bottom layer — sub-linear hops instead of
+a full corpus scan.
+
+Design points:
+
+* **Deterministic levels** — layer assignment draws from a seeded
+  generator, so the same insertion order always builds the same graph
+  (and the RNG state rides through ``save``/``load``).
+* **Vectorized hops** — each beam expansion gathers the popped node's
+  unvisited neighbours into one contiguous candidate block and scores
+  it with a single numpy kernel; under cosine the navigation rows are
+  pre-normalized so a hop is one matrix-vector product.
+* **Diversity heuristic** — neighbour selection keeps a candidate only
+  if it is closer to the query than to any already-kept neighbour
+  (Algorithm 4), then backfills with the closest pruned candidates so
+  every node keeps its full degree.
+* **Exact rerank** — the beam only *nominates* candidates; the returned
+  top-k is ranked by the exact metric (float64
+  :func:`~repro.vectorstore.metrics.pairwise_scores` over the stored
+  rows), so results carry true scores, and with ``ef_search >= len(index)``
+  the search short-circuits to the brute-force kernel and matches
+  :class:`~repro.vectorstore.flat.FlatIndex` exactly.
+* **Batched beam search** — :meth:`search_batch` advances every query's
+  beam in lockstep: each round collects all (query, neighbour) frontier
+  pairs and scores them with one stacked gather+einsum evaluation, so
+  numpy dispatch overhead is paid per round, not per query per hop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import os
+from typing import Any, Sequence
+
+import numpy as np
+
+from .. import perf
+from .flat import SearchResult, _LIVE_INDEXES, topk_order
+from .metrics import normalize, pairwise_scores
+from .storage import VectorArena
+
+__all__ = ["HNSWIndex"]
+
+
+class HNSWIndex:
+    """HNSW approximate nearest-neighbour index.
+
+    Implements the same contract as
+    :class:`~repro.vectorstore.flat.FlatIndex` (``add`` / ``add_batch`` /
+    ``search`` / ``search_batch`` / ``remove`` is **not** supported —
+    graph repair is out of scope) with three knobs:
+
+    * ``M`` — max out-degree on the upper layers (``2 * M`` on layer 0);
+    * ``ef_construction`` — beam width while inserting;
+    * ``ef_search`` — beam width while querying (recall/latency dial;
+      ``>= len(index)`` degenerates to exact brute force).
+
+    Vectors are stored float32 by default — at million scale the arena
+    is the dominant memory cost and navigation is float32-robust; the
+    final rerank always scores in float64.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        metric: str = "cosine",
+        M: int = 16,
+        ef_construction: int = 100,
+        ef_search: int = 64,
+        seed: int = 0,
+        dtype: Any = np.float32,
+    ) -> None:
+        if M < 2:
+            raise ValueError("M must be >= 2")
+        if ef_construction < 1 or ef_search < 1:
+            raise ValueError("ef_construction and ef_search must be positive")
+        if metric not in ("cosine", "ip", "l2"):
+            raise ValueError(f"unknown metric {metric!r}")
+        self.metric = metric
+        self.M = M
+        self.M0 = 2 * M
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self.seed = seed
+        self._store = VectorArena(dim, dtype=dtype)
+        # Navigation rows: the store itself, except under cosine where a
+        # parallel arena holds pre-normalized rows (cosine == dot there).
+        self._nav = VectorArena(dim, dtype=dtype) if metric == "cosine" else self._store
+        # Squared norms for l2 navigation (dist ordering: |x|^2 - 2 q.x).
+        self._sq = VectorArena(1, dtype=np.float64) if metric == "l2" else None
+        self._keys: list[Any] = []
+        self._payloads: list[Any] = []
+        self._key_pos: dict[Any, int] = {}
+        self._levels: list[int] = []
+        self._level0: list[list[int]] = []
+        self._upper: list[dict[int, list[int]]] = []  # _upper[l-1] = layer l
+        self._entry: int | None = None
+        self._max_level = -1
+        self._rng = np.random.default_rng(seed)
+        self._mult = 1.0 / math.log(M)
+        # Search-effort counters (recall proxies on the metrics endpoint).
+        self._edges = 0
+        self._searches = 0
+        self._hops = 0
+        self._dist_evals = 0
+        self._exhaustive = 0
+        _LIVE_INDEXES.add(self)
+
+    # -- basic protocol ----------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self._store.dim
+
+    @property
+    def rebuilds(self) -> int:
+        return self._store.rebuilds
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._key_pos
+
+    def get_vector(self, key: Any) -> np.ndarray:
+        return np.array(self._store.row(self._key_pos[key]), dtype=np.float64)
+
+    def search_counters(self) -> dict:
+        return {
+            "graph_edges": self._edges,
+            "searches": self._searches,
+            "hops": self._hops,
+            "dist_evals": self._dist_evals,
+            "exhaustive_searches": self._exhaustive,
+        }
+
+    # -- distance kernels --------------------------------------------------------
+    #
+    # Navigation works in "distance" space (smaller = closer) so the
+    # candidate heap is a plain min-heap.  Values are *ordering-exact*
+    # per query, not metric-exact: cosine/ip drop to a negated dot
+    # product over the nav rows, l2 drops the query's own norm.
+
+    def _nav_matrix(self) -> np.ndarray:
+        return self._nav.view()
+
+    def _nav_query(self, query64: np.ndarray) -> np.ndarray:
+        # Cast to the nav dtype so per-hop kernels run (and stream
+        # memory) at storage precision instead of upcasting every block.
+        if self.metric == "cosine":
+            query64 = normalize(query64.reshape(1, -1))[0]
+        return np.asarray(query64, dtype=self._nav.dtype)
+
+    def _dist_block(self, qnav: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Distances from a nav-space query row to a block of nodes."""
+        rows = self._nav_matrix()[ids]
+        dots = rows @ qnav
+        self._dist_evals += len(ids)
+        if self.metric == "l2":
+            return self._sq.view()[ids, 0] - 2.0 * dots
+        return -dots
+
+    def _dist_pairs(self, qnav: np.ndarray, owners: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Stacked pair distances: ``dist(qnav[owners[i]], node ids[i])``."""
+        rows = self._nav_matrix()[ids]
+        dots = np.einsum("ij,ij->i", qnav[owners], rows)
+        self._dist_evals += len(ids)
+        if self.metric == "l2":
+            return self._sq.view()[ids, 0] - 2.0 * dots
+        return -dots
+
+    def _node_dist_block(self, node: int, ids: np.ndarray) -> np.ndarray:
+        """True pair distances from one stored node to a block of nodes."""
+        rows = self._nav_matrix()
+        dots = rows[ids] @ rows[node]
+        self._dist_evals += len(ids)
+        if self.metric == "l2":
+            sq = self._sq.view()
+            return sq[ids, 0] - 2.0 * dots + sq[node, 0]
+        return -dots
+
+    def _pair_dist_matrix(self, ids: np.ndarray) -> np.ndarray:
+        """True pairwise distances among a block of stored nodes.
+
+        One Gram-matrix kernel instead of per-candidate calls — this is
+        what makes the selection heuristic cheap enough to run on every
+        insert and every overflow shrink.
+        """
+        rows = self._nav_matrix()[ids]
+        gram = rows @ rows.T
+        self._dist_evals += len(ids) * len(ids)
+        if self.metric == "l2":
+            sq = self._sq.view()[ids, 0]
+            return sq[:, None] + sq[None, :] - 2.0 * gram
+        return -gram
+
+    # -- graph plumbing ----------------------------------------------------------
+
+    def _neighbors(self, node: int, level: int) -> list[int]:
+        if level == 0:
+            return self._level0[node]
+        return self._upper[level - 1].get(node, [])
+
+    def _set_neighbors(self, node: int, level: int, neigh: list[int]) -> None:
+        if level == 0:
+            old = self._level0[node]
+            self._level0[node] = neigh
+        else:
+            old = self._upper[level - 1].get(node, [])
+            self._upper[level - 1][node] = neigh
+        self._edges += len(neigh) - len(old)
+
+    def _draw_level(self) -> int:
+        u = max(float(self._rng.random()), 1e-300)
+        return int(-math.log(u) * self._mult)
+
+    def _select_diverse(
+        self, d_true: np.ndarray, ids: np.ndarray, M: int
+    ) -> np.ndarray:
+        """Diversity-pruned neighbour choice (Algorithm 4 + backfill).
+
+        ``d_true`` must be *true* (norm-consistent) distances sorted
+        ascending, aligned with ``ids``.  A candidate is kept only when
+        it is closer to the query than to every already-kept neighbour —
+        tracked with a running elementwise minimum over one precomputed
+        pair-distance matrix, so the whole selection costs one Gram
+        kernel plus ``M`` vector minimums.  Pruned candidates backfill
+        remaining slots closest-first so degree (and graph connectivity)
+        is kept.  Returns positions into ``ids``.
+        """
+        count = len(ids)
+        if count <= M:
+            return np.arange(count)
+        pair = self._pair_dist_matrix(ids)
+        min_to_kept = np.full(count, np.inf)
+        kept: list[int] = []
+        pruned: list[int] = []
+        for i in range(count):
+            if len(kept) == M:
+                break
+            if min_to_kept[i] < d_true[i]:
+                pruned.append(i)
+                continue
+            kept.append(i)
+            np.minimum(min_to_kept, pair[i], out=min_to_kept)
+        for i in pruned:
+            if len(kept) == M:
+                break
+            kept.append(i)
+        return np.asarray(kept)
+
+    def _true_dists(self, nav_dists: np.ndarray, qq: float) -> np.ndarray:
+        """Nav-space distances -> norm-consistent ones (adds |q|^2 for l2)."""
+        if self.metric == "l2":
+            return nav_dists + qq
+        return nav_dists
+
+    def _shrink(self, node: int, level: int, cap: int) -> None:
+        neigh = self._neighbors(node, level)
+        if len(neigh) <= cap:
+            return
+        ids = np.asarray(neigh)
+        dists = self._node_dist_block(node, ids)
+        order = np.argsort(dists, kind="stable")
+        ids = ids[order]
+        keep = self._select_diverse(dists[order], ids, cap)
+        self._set_neighbors(node, level, ids[keep].tolist())
+
+    def _greedy_descent(
+        self, qnav: np.ndarray, ep: int, epd: float, level: int
+    ) -> tuple[int, float]:
+        """ef=1 greedy walk toward the query on one upper layer."""
+        improved = True
+        while improved:
+            improved = False
+            neigh = self._neighbors(ep, level)
+            if not neigh:
+                break
+            self._hops += 1
+            dists = self._dist_block(qnav, np.asarray(neigh))
+            j = int(np.argmin(dists))
+            if dists[j] < epd:
+                ep, epd = neigh[j], float(dists[j])
+                improved = True
+        return ep, epd
+
+    def _search_layer(
+        self, qnav: np.ndarray, entry: tuple[float, int], ef: int, level: int
+    ) -> list[tuple[float, int]]:
+        """Best-first beam search on one layer; returns (dist, node) hits."""
+        visited = {entry[1]}
+        candidates = [entry]
+        results = [(-entry[0], entry[1])]  # max-heap on dist via negation
+        while candidates:
+            d, node = heapq.heappop(candidates)
+            if len(results) >= ef and d > -results[0][0]:
+                break
+            fresh = [m for m in self._neighbors(node, level) if m not in visited]
+            if not fresh:
+                continue
+            visited.update(fresh)
+            self._hops += 1
+            dists = self._dist_block(qnav, np.asarray(fresh))
+            worst = -results[0][0]
+            for m, dm in zip(fresh, dists.tolist()):
+                if len(results) < ef or dm < worst:
+                    heapq.heappush(candidates, (dm, m))
+                    heapq.heappush(results, (-dm, m))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    worst = -results[0][0]
+        return [(-nd, n) for nd, n in results]
+
+    # -- construction ------------------------------------------------------------
+
+    def add(self, key: Any, vector: Sequence[float], payload: Any = None) -> None:
+        """Insert one vector; duplicate keys are rejected."""
+        if key in self._key_pos:
+            raise ValueError(f"duplicate key {key!r}")
+        vec64 = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vec64.shape[0] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vec64.shape[0]}")
+        idx = self._store.append(vec64)
+        if self.metric == "cosine":
+            self._nav.append(normalize(vec64.reshape(1, -1))[0])
+        if self._sq is not None:
+            nav_row = np.asarray(self._nav_matrix()[idx], dtype=np.float64)
+            self._sq.append([float(nav_row @ nav_row)])
+        level = self._draw_level()
+        self._levels.append(level)
+        self._level0.append([])
+        while len(self._upper) < level:
+            self._upper.append({})
+        for l in range(1, level + 1):
+            self._upper[l - 1][idx] = []
+        self._key_pos[key] = idx
+        self._keys.append(key)
+        self._payloads.append(payload)
+
+        if self._entry is None:
+            self._entry = idx
+            self._max_level = level
+            return
+
+        qnav = self._nav_query(vec64)
+        qq = float(qnav.astype(np.float64) @ qnav.astype(np.float64))
+        ep, epd = self._entry, float(self._dist_block(qnav, np.asarray([self._entry]))[0])
+        for l in range(self._max_level, level, -1):
+            ep, epd = self._greedy_descent(qnav, ep, epd, l)
+        for l in range(min(level, self._max_level), -1, -1):
+            found = self._search_layer(qnav, (epd, ep), self.ef_construction, l)
+            found.sort()
+            cap = self.M0 if l == 0 else self.M
+            cand_d = np.asarray([d for d, _ in found])
+            cand_ids = np.asarray([n for _, n in found])
+            keep = self._select_diverse(self._true_dists(cand_d, qq), cand_ids, self.M)
+            chosen = cand_ids[keep].tolist()
+            self._set_neighbors(idx, l, chosen)
+            # Overflow hysteresis: let a backlink list run a few entries
+            # past cap before paying for a diversity reselect, which then
+            # trims all the way back down — same steady-state graph
+            # quality at a fifth of the shrink calls.
+            slack = max(2, cap // 4)
+            for n in chosen:
+                back = self._neighbors(n, l)
+                back.append(idx)
+                self._edges += 1
+                if len(back) > cap + slack:
+                    self._shrink(n, l, cap)
+            epd, ep = found[0]
+        if level > self._max_level:
+            self._entry = idx
+            self._max_level = level
+
+    def add_batch(
+        self,
+        keys: Sequence[Any],
+        vectors: np.ndarray,
+        payloads: Sequence[Any] | None = None,
+    ) -> None:
+        """Insert many vectors (graph construction stays sequential)."""
+        keys = list(keys)
+        payloads = list(payloads) if payloads is not None else [None] * len(keys)
+        if len(payloads) != len(keys):
+            raise ValueError("payloads length must match keys")
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[0] != len(keys):
+            raise ValueError("vectors row count must match keys")
+        for key, vec, payload in zip(keys, vectors, payloads):
+            self.add(key, vec, payload)
+
+    # -- queries -----------------------------------------------------------------
+
+    def _results_from(
+        self, query64: np.ndarray, ids: np.ndarray, k: int
+    ) -> list[SearchResult]:
+        """Exact-rerank candidate ids: float64 metric scores, shared top-k."""
+        rows = np.asarray(self._store.view()[ids], dtype=np.float64)
+        scores = pairwise_scores(query64.reshape(1, -1), rows, self.metric)[0]
+        top = topk_order(scores, k)
+        return [
+            SearchResult(
+                key=self._keys[ids[i]],
+                score=float(scores[i]),
+                payload=self._payloads[ids[i]],
+            )
+            for i in top
+        ]
+
+    def _brute_force(self, query64: np.ndarray, k: int) -> list[SearchResult]:
+        self._exhaustive += 1
+        self._dist_evals += len(self)
+        return self._results_from(query64, np.arange(len(self)), k)
+
+    def _check_query(self, query) -> np.ndarray:
+        query64 = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query64.shape[0] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {query64.shape[0]}")
+        return query64
+
+    def _descend(self, qnav: np.ndarray) -> tuple[int, float]:
+        ep = self._entry
+        epd = float(self._dist_block(qnav, np.asarray([ep]))[0])
+        for l in range(self._max_level, 0, -1):
+            ep, epd = self._greedy_descent(qnav, ep, epd, l)
+        return ep, epd
+
+    def search(self, query: Sequence[float], k: int = 5) -> list[SearchResult]:
+        """Top-``k`` by beam search + exact rerank (largest score first)."""
+        if not len(self):
+            return []
+        query64 = self._check_query(query)
+        self._searches += 1
+        perf.incr("ann.searches")
+        ef = max(self.ef_search, k)
+        if ef >= len(self):
+            return self._brute_force(query64, k)
+        qnav = self._nav_query(query64)
+        ep, epd = self._descend(qnav)
+        found = self._search_layer(qnav, (epd, ep), ef, 0)
+        ids = np.asarray([n for _, n in found])
+        return self._results_from(query64, ids, k)
+
+    def search_batch(self, queries: np.ndarray, k: int = 5) -> list[list[SearchResult]]:
+        """Lockstep batched beam search over the bottom layer.
+
+        Every round pops one beam candidate per live query, gathers all
+        their unvisited neighbours as (query, node) pairs, and scores
+        the whole frontier with one stacked gather+einsum kernel — the
+        per-hop numpy dispatch cost is shared across the batch.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {queries.shape[1]}")
+        batch = queries.shape[0]
+        if not len(self):
+            return [[] for _ in range(batch)]
+        self._searches += batch
+        perf.incr("ann.searches", batch)
+        ef = max(self.ef_search, k)
+        if ef >= len(self):
+            self._exhaustive += batch
+            self._dist_evals += batch * len(self)
+            all_rows = np.asarray(self._store.view(), dtype=np.float64)
+            scores = pairwise_scores(queries, all_rows, self.metric)
+            out = []
+            for row in scores:
+                top = topk_order(row, k)
+                out.append(
+                    [
+                        SearchResult(
+                            key=self._keys[i], score=float(row[i]), payload=self._payloads[i]
+                        )
+                        for i in top
+                    ]
+                )
+            return out
+
+        qnav = np.asarray(
+            normalize(queries) if self.metric == "cosine" else queries,
+            dtype=self._nav.dtype,
+        )
+        beams = []
+        for b in range(batch):
+            ep, epd = self._descend(qnav[b])
+            beams.append(
+                {
+                    "visited": {ep},
+                    "cand": [(epd, ep)],
+                    "result": [(-epd, ep)],
+                }
+            )
+        active = set(range(batch))
+        while active:
+            # Frontier pairs arrive in owner-contiguous spans, so the
+            # scatter below works a span at a time with local bindings.
+            spans: list[tuple[int, int, int]] = []  # (owner, start, stop)
+            frontier: list[int] = []
+            for b in list(active):
+                beam = beams[b]
+                expanded = False
+                while beam["cand"]:
+                    d, node = heapq.heappop(beam["cand"])
+                    if len(beam["result"]) >= ef and d > -beam["result"][0][0]:
+                        beam["cand"] = []
+                        break
+                    fresh = [
+                        m for m in self._neighbors(node, 0)
+                        if m not in beam["visited"]
+                    ]
+                    if fresh:
+                        beam["visited"].update(fresh)
+                        spans.append((b, len(frontier), len(frontier) + len(fresh)))
+                        frontier.extend(fresh)
+                        expanded = True
+                        break
+                if not expanded:
+                    active.discard(b)
+            if not frontier:
+                break
+            self._hops += len(spans)
+            owners = np.repeat(
+                np.asarray([s[0] for s in spans]),
+                np.asarray([s[2] - s[1] for s in spans]),
+            )
+            frontier_ids = np.asarray(frontier)
+            dists = self._dist_pairs(qnav, owners, frontier_ids).tolist()
+            for b, start, stop in spans:
+                beam = beams[b]
+                cand, result = beam["cand"], beam["result"]
+                for j in range(start, stop):
+                    dval = dists[j]
+                    if len(result) < ef or dval < -result[0][0]:
+                        heapq.heappush(cand, (dval, frontier[j]))
+                        heapq.heappush(result, (-dval, frontier[j]))
+                        if len(result) > ef:
+                            heapq.heappop(result)
+        return [
+            self._results_from(
+                queries[b], np.asarray([n for _, n in beams[b]["result"]]), k
+            )
+            for b in range(batch)
+        ]
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, prefix: str | os.PathLike) -> None:
+        """Persist to ``<prefix>.npy`` + ``<prefix>.json`` + ``<prefix>.graph.npz``.
+
+        Vectors go through the arena (mmap-loadable); the graph packs
+        each layer as CSR int32 arrays; keys/payloads/levels and the RNG
+        state ride the JSON sidecar, so a reloaded index keeps building
+        deterministically.
+        """
+        prefix = os.fspath(prefix)
+        arrays: dict[str, np.ndarray] = {}
+        indptr = np.zeros(len(self._level0) + 1, dtype=np.int64)
+        for i, neigh in enumerate(self._level0):
+            indptr[i + 1] = indptr[i] + len(neigh)
+        arrays["l0_indptr"] = indptr
+        arrays["l0_indices"] = np.asarray(
+            [m for neigh in self._level0 for m in neigh], dtype=np.int32
+        )
+        for l, layer in enumerate(self._upper, start=1):
+            nodes = sorted(layer)
+            ptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+            for i, node in enumerate(nodes):
+                ptr[i + 1] = ptr[i] + len(layer[node])
+            arrays[f"l{l}_nodes"] = np.asarray(nodes, dtype=np.int64)
+            arrays[f"l{l}_indptr"] = ptr
+            arrays[f"l{l}_indices"] = np.asarray(
+                [m for node in nodes for m in layer[node]], dtype=np.int32
+            )
+        tmp = prefix + ".graph.npz.tmp"
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp, prefix + ".graph.npz")
+        self._store.save(
+            prefix,
+            sidecar={
+                "index": "hnsw",
+                "metric": self.metric,
+                "M": self.M,
+                "ef_construction": self.ef_construction,
+                "ef_search": self.ef_search,
+                "seed": self.seed,
+                "keys": self._keys,
+                "payloads": self._payloads,
+                "levels": self._levels,
+                "entry": self._entry,
+                "max_level": self._max_level,
+                "num_upper": len(self._upper),
+                "rng_state": self._rng.bit_generator.state,
+            },
+        )
+
+    @classmethod
+    def load(cls, prefix: str | os.PathLike, mmap: bool = True) -> "HNSWIndex":
+        """Reopen a saved index; ``mmap=True`` maps vectors zero-copy.
+
+        Under ``ip``/``l2`` navigation runs directly on the mapped rows;
+        under cosine the normalized navigation rows are recomputed once.
+        """
+        prefix = os.fspath(prefix)
+        arena, sidecar = VectorArena.load(prefix, mmap=mmap)
+        index = cls(
+            arena.dim,
+            metric=sidecar["metric"],
+            M=sidecar["M"],
+            ef_construction=sidecar["ef_construction"],
+            ef_search=sidecar["ef_search"],
+            seed=sidecar["seed"],
+            dtype=arena.dtype,
+        )
+        index._store = arena
+        if index.metric == "cosine":
+            nav = VectorArena(arena.dim, dtype=arena.dtype)
+            nav.extend(normalize(np.asarray(arena.view(), dtype=np.float64)))
+            index._nav = nav
+        else:
+            index._nav = arena
+        if index._sq is not None:
+            sq = VectorArena(1, dtype=np.float64)
+            rows = np.asarray(arena.view(), dtype=np.float64)
+            sq.extend(np.einsum("ij,ij->i", rows, rows).reshape(-1, 1))
+            index._sq = sq
+        index._keys = list(sidecar["keys"])
+        index._payloads = list(sidecar["payloads"])
+        index._key_pos = {key: i for i, key in enumerate(index._keys)}
+        index._levels = list(sidecar["levels"])
+        index._entry = sidecar["entry"]
+        index._max_level = sidecar["max_level"]
+        index._rng.bit_generator.state = sidecar["rng_state"]
+        if len(index._keys) != len(arena):
+            raise ValueError("sidecar keys do not match stored vectors")
+        with np.load(prefix + ".graph.npz") as graph:
+            indptr = graph["l0_indptr"]
+            indices = graph["l0_indices"]
+            index._level0 = [
+                indices[indptr[i] : indptr[i + 1]].tolist()
+                for i in range(len(indptr) - 1)
+            ]
+            index._upper = []
+            for l in range(1, sidecar["num_upper"] + 1):
+                nodes = graph[f"l{l}_nodes"]
+                ptr = graph[f"l{l}_indptr"]
+                idx = graph[f"l{l}_indices"]
+                index._upper.append(
+                    {
+                        int(node): idx[ptr[i] : ptr[i + 1]].tolist()
+                        for i, node in enumerate(nodes)
+                    }
+                )
+        index._edges = sum(len(n) for n in index._level0) + sum(
+            len(n) for layer in index._upper for n in layer.values()
+        )
+        return index

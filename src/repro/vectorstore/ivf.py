@@ -4,6 +4,14 @@ Vectors are partitioned into ``nlist`` cells by k-means; a query probes the
 ``nprobe`` closest cells only.  With ``nprobe == nlist`` the index is exact
 and matches :class:`~repro.vectorstore.flat.FlatIndex` — a property the test
 suite exercises.
+
+Adds after training no longer throw the quantizer away: a new vector is
+assigned to its nearest existing centroid in O(nlist), and only when the
+incrementally-added fraction exceeds ``drift_threshold`` of the trained
+size does the index schedule a full retrain (lazily, on the next
+search).  Rows live in one contiguous
+:class:`~repro.vectorstore.storage.VectorArena`, so probing gathers
+candidate rows with a fancy index instead of a per-search ``np.vstack``.
 """
 
 from __future__ import annotations
@@ -12,8 +20,9 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from .flat import SearchResult
-from .metrics import normalize, pairwise_scores
+from .flat import SearchResult, _LIVE_INDEXES, topk_order
+from .metrics import METRICS, normalize, pairwise_scores
+from .storage import VectorArena
 
 __all__ = ["IVFIndex"]
 
@@ -61,7 +70,9 @@ class IVFIndex:
     """IVF index with k-means coarse quantizer.
 
     Build with :meth:`train` + :meth:`add` (or just :meth:`add`, which
-    triggers lazy training on first search).
+    triggers lazy training on first search).  ``drift_threshold`` is the
+    fraction of incrementally-assigned vectors (relative to the trained
+    size) tolerated before the quantizer is rebuilt.
     """
 
     def __init__(
@@ -71,72 +82,115 @@ class IVFIndex:
         nprobe: int = 4,
         metric: str = "cosine",
         seed: int = 0,
+        drift_threshold: float = 0.5,
     ) -> None:
-        if dim <= 0:
-            raise ValueError("dim must be positive")
         if nprobe <= 0 or nlist <= 0:
             raise ValueError("nlist and nprobe must be positive")
-        self.dim = dim
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}")
+        if drift_threshold <= 0:
+            raise ValueError("drift_threshold must be positive")
+        self._arena = VectorArena(dim)
         self.nlist = nlist
         self.nprobe = min(nprobe, nlist)
         self.metric = metric
+        self.drift_threshold = drift_threshold
         self._rng = np.random.default_rng(seed)
         self._keys: list[Any] = []
         self._payloads: list[Any] = []
-        self._rows: list[np.ndarray] = []
+        self._key_pos: dict[Any, int] = {}
         self._centroids: np.ndarray | None = None
         self._cells: list[list[int]] | None = None
-        from .flat import _LIVE_INDEXES
-
+        self._trained_size = 0
+        self._drifted = 0
+        self._searches = 0
         _LIVE_INDEXES.add(self)
+
+    @property
+    def dim(self) -> int:
+        return self._arena.dim
+
+    @property
+    def rebuilds(self) -> int:
+        return self._arena.rebuilds
 
     def __len__(self) -> int:
         return len(self._keys)
 
+    def __contains__(self, key: Any) -> bool:
+        return key in self._key_pos
+
+    def _probe_form(self, rows: np.ndarray) -> np.ndarray:
+        """Rows as the quantizer sees them (normalized under cosine)."""
+        return normalize(rows) if self.metric == "cosine" else rows
+
     def add(self, key: Any, vector: Sequence[float], payload: Any = None) -> None:
-        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
-        if vector.shape[0] != self.dim:
-            raise ValueError(f"expected dim {self.dim}, got {vector.shape[0]}")
+        if key in self._key_pos:
+            raise ValueError(f"duplicate key {key!r}")
+        position = self._arena.append(vector)
+        self._key_pos[key] = position
         self._keys.append(key)
         self._payloads.append(payload)
-        self._rows.append(vector)
-        self._centroids = None  # retrain lazily
-        self._cells = None
+        if not self.is_trained:
+            return
+        # Incremental assignment: nearest existing centroid in O(nlist);
+        # schedule a full retrain only once drift crosses the threshold.
+        row = self._probe_form(self._arena.row(position).reshape(1, -1))
+        cell = int(np.argmax(pairwise_scores(row, self._centroids, "l2")[0]))
+        self._cells[cell].append(position)
+        self._drifted += 1
+        if self._drifted > self.drift_threshold * max(1, self._trained_size):
+            self._centroids = None  # retrain lazily on next search
+            self._cells = None
+
+    def add_batch(
+        self,
+        keys: Sequence[Any],
+        vectors: np.ndarray,
+        payloads: Sequence[Any] | None = None,
+    ) -> None:
+        keys = list(keys)
+        payloads = list(payloads) if payloads is not None else [None] * len(keys)
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        for key, vec, payload in zip(keys, vectors, payloads):
+            self.add(key, vec, payload)
 
     def train(self) -> None:
         """(Re)build the coarse quantizer and cell assignments."""
-        if not self._rows:
+        if not len(self._keys):
             raise ValueError("cannot train an empty index")
-        data = np.vstack(self._rows)
-        if self.metric == "cosine":
-            data = normalize(data)
+        data = self._probe_form(self._arena.view())
         self._centroids = _kmeans(data, self.nlist, self._rng)
         assign = np.argmax(pairwise_scores(data, self._centroids, "l2"), axis=1)
         self._cells = [[] for _ in range(len(self._centroids))]
         for idx, cell in enumerate(assign):
             self._cells[cell].append(idx)
+        self._trained_size = len(self._keys)
+        self._drifted = 0
 
     @property
     def is_trained(self) -> bool:
         return self._centroids is not None
 
     def search(self, query: Sequence[float], k: int = 5) -> list[SearchResult]:
-        if not self._rows:
+        if not len(self._keys):
             return []
         if not self.is_trained:
             self.train()
         query = np.asarray(query, dtype=np.float64).reshape(1, -1)
         if query.shape[1] != self.dim:
             raise ValueError(f"expected dim {self.dim}, got {query.shape[1]}")
-        probe_query = normalize(query) if self.metric == "cosine" else query
+        self._searches += 1
+        probe_query = self._probe_form(query)
         cell_scores = pairwise_scores(probe_query, self._centroids, "l2")[0]
         probe = np.argsort(-cell_scores)[: self.nprobe]
         candidates = [idx for cell in probe for idx in self._cells[cell]]
         if not candidates:
             return []
-        matrix = np.vstack([self._rows[i] for i in candidates])
+        candidate_ids = np.asarray(candidates, dtype=np.intp)
+        matrix = self._arena.view()[candidate_ids]
         scores = pairwise_scores(query, matrix, self.metric)[0]
-        order = np.argsort(-scores)[: min(k, len(candidates))]
+        order = topk_order(scores, k)
         return [
             SearchResult(
                 key=self._keys[candidates[i]],
@@ -145,3 +199,9 @@ class IVFIndex:
             )
             for i in order
         ]
+
+    def search_batch(self, queries: np.ndarray, k: int = 5) -> list[list[SearchResult]]:
+        return [self.search(q, k) for q in np.atleast_2d(queries)]
+
+    def search_counters(self) -> dict:
+        return {"searches": self._searches}

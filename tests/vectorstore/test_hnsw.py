@@ -1,0 +1,246 @@
+"""HNSW index: contract, determinism, persistence, gating, counters."""
+
+import numpy as np
+import pytest
+
+from repro.vectorstore import (
+    FlatIndex,
+    HNSWIndex,
+    ann_enabled,
+    live_index_stats,
+    make_index,
+)
+
+
+@pytest.fixture
+def clustered():
+    rng = np.random.default_rng(11)
+    centers = rng.normal(scale=8.0, size=(8, 12))
+    return np.vstack([c + rng.normal(scale=0.4, size=(50, 12)) for c in centers])
+
+
+class TestContract:
+    def test_basic_search_with_payloads(self):
+        idx = HNSWIndex(dim=2)
+        idx.add("x", [1, 0], payload="east")
+        idx.add("y", [0, 1], payload="north")
+        results = idx.search([0.9, 0.1], k=1)
+        assert results[0].key == "x"
+        assert results[0].payload == "east"
+
+    def test_empty_and_oversized_k(self):
+        idx = HNSWIndex(dim=3)
+        assert idx.search([1, 2, 3]) == []
+        idx.add("a", [1, 2, 3])
+        assert len(idx.search([1, 2, 3], k=10)) == 1
+
+    def test_duplicate_key_rejected(self):
+        idx = HNSWIndex(dim=2)
+        idx.add("a", [1, 0])
+        with pytest.raises(ValueError):
+            idx.add("a", [0, 1])
+
+    def test_dim_mismatch_rejected(self):
+        idx = HNSWIndex(dim=3)
+        with pytest.raises(ValueError):
+            idx.add("a", [1, 2])
+        idx.add("b", [1, 2, 3])
+        with pytest.raises(ValueError):
+            idx.search([1, 2])
+        with pytest.raises(ValueError):
+            idx.search_batch(np.ones((2, 2)))
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            HNSWIndex(dim=0)
+        with pytest.raises(ValueError):
+            HNSWIndex(dim=4, M=1)
+        with pytest.raises(ValueError):
+            HNSWIndex(dim=4, ef_search=0)
+        with pytest.raises(ValueError):
+            HNSWIndex(dim=4, metric="hamming")
+
+    def test_contains_and_get_vector(self):
+        idx = HNSWIndex(dim=3, dtype=np.float64)
+        idx.add("a", [1.5, 2.5, 3.5])
+        assert "a" in idx and "b" not in idx
+        np.testing.assert_allclose(idx.get_vector("a"), [1.5, 2.5, 3.5])
+
+    def test_scores_sorted_descending(self, clustered):
+        idx = HNSWIndex(dim=12, metric="l2", ef_search=32, seed=0)
+        idx.add_batch(range(len(clustered)), clustered)
+        scores = [r.score for r in idx.search(clustered[3], k=8)]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestRecallAndExactness:
+    def test_high_recall_vs_flat(self, clustered):
+        flat = FlatIndex(dim=12, metric="cosine")
+        hnsw = HNSWIndex(dim=12, metric="cosine", M=8, ef_construction=64,
+                         ef_search=48, seed=3)
+        flat.add_batch(range(len(clustered)), clustered)
+        hnsw.add_batch(range(len(clustered)), clustered)
+        hits = total = 0
+        for q in range(0, len(clustered), 10):
+            query = clustered[q] + 0.01
+            truth = {r.key for r in flat.search(query, k=10)}
+            approx = {r.key for r in hnsw.search(query, k=10)}
+            hits += len(truth & approx)
+            total += len(truth)
+        assert hits / total >= 0.95
+
+    def test_exhaustive_ef_matches_flat_exactly(self, clustered):
+        """ef_search >= n short-circuits to the same brute-force kernel
+        as FlatIndex: identical keys, identical float64 scores."""
+        flat = FlatIndex(dim=12, metric="cosine")
+        hnsw = HNSWIndex(dim=12, metric="cosine", ef_search=10_000,
+                         dtype=np.float64)
+        flat.add_batch(range(len(clustered)), clustered)
+        hnsw.add_batch(range(len(clustered)), clustered)
+        for q in (0, 17, 399):
+            query = clustered[q] + 0.02
+            exact = [(r.key, r.score) for r in flat.search(query, k=7)]
+            approx = [(r.key, r.score) for r in hnsw.search(query, k=7)]
+            assert approx == exact
+
+    def test_batch_matches_single(self, clustered):
+        hnsw = HNSWIndex(dim=12, metric="l2", M=8, ef_construction=64,
+                         ef_search=48, seed=5)
+        hnsw.add_batch(range(len(clustered)), clustered)
+        queries = clustered[[3, 77, 201, 350]] + 0.05
+        batched = hnsw.search_batch(queries, k=5)
+        for query, hits in zip(queries, batched):
+            single = {r.key for r in hnsw.search(query, k=5)}
+            assert len({r.key for r in hits} & single) >= 4
+
+    def test_rerank_scores_are_exact_metric(self, clustered):
+        """ANN shortlists; returned scores must still be the true metric."""
+        hnsw = HNSWIndex(dim=12, metric="cosine", ef_search=16, seed=1)
+        hnsw.add_batch(range(len(clustered)), clustered)
+        flat = FlatIndex(dim=12, metric="cosine")
+        flat.add_batch(range(len(clustered)), clustered)
+        for hit in hnsw.search(clustered[42] + 0.01, k=5):
+            exact = flat.search(flat.get_vector(hit.key), k=1)[0]
+            # score of the hit against the query must equal the flat
+            # score of the same stored vector against the same query
+            expect = [r for r in flat.search(clustered[42] + 0.01, k=400)
+                      if r.key == hit.key]
+            assert hit.score == pytest.approx(expect[0].score, abs=1e-6)
+            assert exact.key == hit.key
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self, clustered):
+        a = HNSWIndex(dim=12, M=6, ef_construction=32, seed=7)
+        b = HNSWIndex(dim=12, M=6, ef_construction=32, seed=7)
+        for i, row in enumerate(clustered[:150]):
+            a.add(i, row)
+            b.add(i, row)
+        assert a._levels == b._levels
+        assert a._level0 == b._level0
+        assert a._entry == b._entry
+        query = clustered[9] + 0.01
+        assert [r.key for r in a.search(query, k=5)] == [
+            r.key for r in b.search(query, k=5)
+        ]
+
+    def test_different_seed_different_levels(self, clustered):
+        a = HNSWIndex(dim=12, M=4, seed=1)
+        b = HNSWIndex(dim=12, M=4, seed=2)
+        for i, row in enumerate(clustered[:200]):
+            a.add(i, row)
+            b.add(i, row)
+        assert a._levels != b._levels
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path, clustered):
+        idx = HNSWIndex(dim=12, metric="cosine", M=8, ef_construction=48,
+                        ef_search=32, seed=2)
+        idx.add_batch(range(len(clustered)), clustered,
+                      payloads=[{"i": i} for i in range(len(clustered))])
+        idx.save(tmp_path / "ix")
+        loaded = HNSWIndex.load(tmp_path / "ix", mmap=True)
+        assert len(loaded) == len(idx)
+        assert loaded._store.mmapped
+        assert loaded._edges == idx._edges
+        query = clustered[13] + 0.01
+        got = [(r.key, r.payload, round(r.score, 9)) for r in loaded.search(query, k=5)]
+        want = [(r.key, r.payload, round(r.score, 9)) for r in idx.search(query, k=5)]
+        assert got == want
+
+    def test_post_load_adds_stay_deterministic(self, tmp_path, clustered):
+        """The construction RNG state rides the sidecar: adding after a
+        reload builds the same graph as never having saved."""
+        idx = HNSWIndex(dim=12, M=6, seed=4)
+        for i, row in enumerate(clustered[:100]):
+            idx.add(i, row)
+        idx.save(tmp_path / "ix")
+        loaded = HNSWIndex.load(tmp_path / "ix")
+        for i, row in enumerate(clustered[100:140]):
+            idx.add(100 + i, row)
+            loaded.add(100 + i, row)
+        assert idx._levels == loaded._levels
+        query = clustered[120]
+        assert [r.key for r in idx.search(query, k=5)] == [
+            r.key for r in loaded.search(query, k=5)
+        ]
+
+    def test_l2_norms_rebuilt_on_load(self, tmp_path, clustered):
+        idx = HNSWIndex(dim=12, metric="l2", ef_search=16, seed=0)
+        idx.add_batch(range(300), clustered[:300])
+        idx.save(tmp_path / "l2")
+        loaded = HNSWIndex.load(tmp_path / "l2")
+        query = clustered[7] + 0.01
+        assert [r.key for r in loaded.search(query, k=3)] == [
+            r.key for r in idx.search(query, k=3)
+        ]
+
+
+class TestGateAndStats:
+    def test_make_index_default_is_flat(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ANN", raising=False)
+        assert not ann_enabled()
+        assert isinstance(make_index(8), FlatIndex)
+
+    def test_make_index_gated_hnsw(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ANN", "1")
+        assert ann_enabled()
+        idx = make_index(8, metric="l2", M=4)
+        assert isinstance(idx, HNSWIndex)
+        assert idx.M == 4 and idx.metric == "l2"
+
+    def test_retrievers_honour_gate(self, monkeypatch):
+        from repro.rag.retrievers import ManualRetriever
+
+        monkeypatch.setenv("REPRO_ANN", "1")
+        assert isinstance(ManualRetriever().index, HNSWIndex)
+        monkeypatch.setenv("REPRO_ANN", "0")
+        assert isinstance(ManualRetriever().index, FlatIndex)
+
+    def test_gate_preserves_exact_retrieval(self, monkeypatch):
+        """REPRO_ANN=0 must stay bit-identical; REPRO_ANN=1 on a corpus
+        smaller than ef_search degenerates to exact brute force — same
+        ranking, scores float32-close (HNSW stores float32 by default)."""
+        from repro.rag.retrievers import ManualRetriever
+
+        monkeypatch.setenv("REPRO_ANN", "0")
+        exact = ManualRetriever().retrieve("report timing slack", k=3, rerank=False)
+        monkeypatch.setenv("REPRO_ANN", "1")
+        gated = ManualRetriever().retrieve("report timing slack", k=3, rerank=False)
+        assert [h.command for h in exact] == [h.command for h in gated]
+        for want, got in zip(exact, gated):
+            assert got.score == pytest.approx(want.score, rel=1e-6)
+
+    def test_live_stats_include_graph_counters(self, clustered):
+        idx = HNSWIndex(dim=12, M=6, ef_search=16, seed=0)
+        idx.add_batch(range(200), clustered[:200])
+        idx.search(clustered[0], k=3)
+        stats = live_index_stats()
+        assert stats["vectors"] >= 200
+        assert stats["graph_edges"] >= idx._edges
+        assert stats["searches"] >= 1
+        assert stats["dist_evals"] > 0
+        counters = idx.search_counters()
+        assert counters["hops"] > 0
+        assert counters["exhaustive_searches"] == 0
