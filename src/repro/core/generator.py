@@ -17,7 +17,7 @@ from ..rag.knowledge import render_strategy_section, strategies_for_pathologies
 from ..rag.synthrag import SynthRAG
 from .requirements import Requirement
 
-__all__ = ["DraftResult", "Generator"]
+__all__ = ["DraftResult", "DraftRetrieval", "Generator"]
 
 
 @dataclass
@@ -28,6 +28,20 @@ class DraftResult:
     prompt: str
     completion_text: str
     strategies_used: list[str]
+
+
+@dataclass
+class DraftRetrieval:
+    """The retrieved grounding for one draft (the pipeline's retrieve stage).
+
+    Splitting retrieval out of :meth:`Generator.draft` lets the serving
+    engine coalesce many sessions' strategy/manual lookups into batched
+    kNN calls, then finish each draft independently with
+    :meth:`Generator.draft_from_retrieval`.
+    """
+
+    strategy_hits: list
+    manual_hits: list
 
 
 class Generator:
@@ -47,15 +61,47 @@ class Generator:
         k_strategies: int = 2,
     ) -> DraftResult:
         """Draft a customized script for one design."""
-        with obs.span("chatls.draft", seed=seed) as sp:
+        retrieval = self.retrieve_for_draft(requirement, analysis, k_strategies)
+        return self.draft_from_retrieval(
+            requirement, baseline_script, tool_report, analysis, retrieval, seed=seed
+        )
+
+    def retrieve_for_draft(
+        self,
+        requirement: Requirement,
+        analysis: DesignAnalysis,
+        k_strategies: int = 2,
+        design_embedding=None,
+    ) -> DraftRetrieval:
+        """The retrieval half of :meth:`draft` (strategy + manual lookups)."""
+        if design_embedding is None:
             design_embedding = self.rag.encoder.embed_design(analysis.circuit)
-            hits = self.rag.retrieve_strategies(design_embedding, k=k_strategies)
+        return DraftRetrieval(
+            strategy_hits=self.rag.retrieve_strategies(design_embedding, k=k_strategies),
+            manual_hits=self.rag.manual(requirement.text, k=2),
+        )
+
+    def draft_from_retrieval(
+        self,
+        requirement: Requirement,
+        baseline_script: str,
+        tool_report: str,
+        analysis: DesignAnalysis,
+        retrieval: DraftRetrieval,
+        seed: int = 0,
+    ) -> DraftResult:
+        """Compose the prompt and draft from already-retrieved grounding.
+
+        Touches only the LLM — no retriever state — so the serving engine
+        can run it per-session after a coalesced retrieve stage.
+        """
+        with obs.span("chatls.draft", seed=seed) as sp:
+            hits = retrieval.strategy_hits
             pathology_strats = strategies_for_pathologies(analysis.pathologies, limit=2)
             strategy_section = render_strategy_section(
                 hits=hits, pathology_strategies=pathology_strats
             )
-            manual_hits = self.rag.manual(requirement.text, k=2)
-            manual_section = "\n\n".join(h.text for h in manual_hits)
+            manual_section = "\n\n".join(h.text for h in retrieval.manual_hits)
             sections = {
                 "USER REQUIREMENT": requirement.text,
                 "BASELINE SCRIPT": baseline_script,

@@ -19,7 +19,17 @@ from ..mentor.analyzer import DesignAnalysis
 from ..rag.synthrag import SynthRAG
 from .thoughts import CoTTrace, ThoughtStep
 
-__all__ = ["SynthExpert", "RefinementResult"]
+__all__ = ["SynthExpert", "RefinementResult", "StepPlan", "DEFAULT_PROTECTED_PREFIXES"]
+
+#: Setup/constraint commands that pass through revision untouched.
+DEFAULT_PROTECTED_PREFIXES = (
+    "read_verilog",
+    "current_design",
+    "link",
+    "set_wire_load_model",
+    "create_clock",
+    "set",  # generic Tcl variable assignment
+)
 
 #: Intent keywords -> documented replacement command, used to repair
 #: hallucinated commands while preserving what the model meant.
@@ -57,6 +67,28 @@ class RefinementResult:
         return all(step.action != "failed" for step in self.trace.steps)
 
 
+@dataclass
+class StepPlan:
+    """The decomposed draft: thought steps plus their retrieval queries.
+
+    Produced by :meth:`SynthExpert.plan`; the per-step manual retrieval
+    can then run as one batched lookup (within a session, or coalesced
+    across sessions by the serving engine) before
+    :meth:`SynthExpert.apply` revises each step.
+    """
+
+    steps: list[ThoughtStep]
+    protected: list[bool]
+
+    def queries(self) -> list[str]:
+        """Effective retrieval query per unprotected step, in step order."""
+        return [
+            step.query or step.content
+            for step, is_protected in zip(self.steps, self.protected)
+            if not is_protected
+        ]
+
+
 class SynthExpert:
     """CoT + RAG refinement loop over a drafted script."""
 
@@ -68,18 +100,18 @@ class SynthExpert:
         self,
         draft_script: str,
         analysis: DesignAnalysis | None = None,
-        protected_prefixes: tuple[str, ...] = (
-            "read_verilog",
-            "current_design",
-            "link",
-            "set_wire_load_model",
-            "create_clock",
-            "set",  # generic Tcl variable assignment
-        ),
+        protected_prefixes: tuple[str, ...] = DEFAULT_PROTECTED_PREFIXES,
     ) -> RefinementResult:
-        """Revise the draft one thought step at a time (paper Eq. 6)."""
+        """Revise the draft one thought step at a time (paper Eq. 6).
+
+        Runs the three pipeline sub-stages back to back: ``plan`` (steps +
+        LLM-formulated queries), batched manual ``retrieve``, ``apply``
+        (the Eq. 6 revision decisions).
+        """
         with obs.span("expert.refine") as sp:
-            result = self._refine(draft_script, analysis, protected_prefixes)
+            plan = self.plan(draft_script, protected_prefixes)
+            step_hits = self.retrieve(plan)
+            result = self.apply(plan, step_hits, analysis)
             sp.set_attributes(
                 steps=len(result.trace.steps),
                 repaired=result.trace.num_repaired,
@@ -87,31 +119,63 @@ class SynthExpert:
             )
             return result
 
-    def _refine(
+    # -- pipeline sub-stages -----------------------------------------------------
+
+    def plan(
         self,
         draft_script: str,
-        analysis: DesignAnalysis | None,
-        protected_prefixes: tuple[str, ...],
-    ) -> RefinementResult:
-        trace = CoTTrace()
-        final_lines: list[str] = []
+        protected_prefixes: tuple[str, ...] = DEFAULT_PROTECTED_PREFIXES,
+    ) -> StepPlan:
+        """Decompose the draft into thought steps and formulate queries (Q_i)."""
+        steps: list[ThoughtStep] = []
+        protected: list[bool] = []
         for index, raw_line in enumerate(draft_script.splitlines()):
             line = raw_line.strip()
             if not line or line.startswith("#"):
                 continue
             step = ThoughtStep(index=index, content=line)
             first = line.split()[0]
-            if any(
+            is_protected = any(
                 first == prefix or (prefix == "set" and first == "set")
                 for prefix in protected_prefixes
-            ):
+            )
+            if not is_protected:
+                # Q_i: ask the LLM to turn the step into a retrieval query.
+                step.query = self.llm.complete(
+                    build_prompt({"TASK": "FORMULATE QUERY", "THOUGHT STEP": line})
+                ).text.strip()
+            steps.append(step)
+            protected.append(is_protected)
+        return StepPlan(steps=steps, protected=protected)
+
+    def retrieve(self, plan: StepPlan, k: int = 2) -> list:
+        """R_i: manual retrieval for every unprotected step's query, batched."""
+        queries = plan.queries()
+        if not queries:
+            return []
+        if len(queries) == 1:
+            return [self.rag.manual(queries[0], k=k)]
+        return self.rag.manual_batch(queries, k=k)
+
+    def apply(
+        self,
+        plan: StepPlan,
+        step_hits: list,
+        analysis: DesignAnalysis | None = None,
+    ) -> RefinementResult:
+        """T_i -> T_i*: revise each step given its retrieved grounding."""
+        trace = CoTTrace()
+        final_lines: list[str] = []
+        hit_rows = iter(step_hits)
+        for step, is_protected in zip(plan.steps, plan.protected):
+            if is_protected:
                 # Setup/constraint lines pass through unrevised — the paper
                 # fixes basic configuration (incl. clock period).
-                step.revised = line
+                step.revised = step.content
                 trace.add(step)
-                final_lines.append(line)
+                final_lines.append(step.content)
                 continue
-            revised = self._revise_step(step, analysis)
+            revised = self._revise_step(step, next(hit_rows), analysis)
             trace.add(step)
             if step.action != "dropped" and revised:
                 final_lines.append(revised)
@@ -130,17 +194,13 @@ class SynthExpert:
 
     # -- the Eq. 6 inner loop ----------------------------------------------------
 
-    def _revise_step(self, step: ThoughtStep, analysis: DesignAnalysis | None) -> str:
+    def _revise_step(
+        self, step: ThoughtStep, hits, analysis: DesignAnalysis | None
+    ) -> str:
         line = step.content
         command = line.split()[0]
         with obs.span("expert.step", index=step.index, command=command) as sp:
-            # Q_i: ask the LLM to turn the step into a retrieval query.
-            step.query = self.llm.complete(
-                build_prompt({"TASK": "FORMULATE QUERY", "THOUGHT STEP": line})
-            ).text.strip()
             sp.set_attribute("query", step.query)
-            # R_i: manual retrieval for the step's query.
-            hits = self.rag.manual(step.query or line, k=2)
             step.retrieved = "\n".join(h.text for h in hits)
 
             if self.rag.command_exists(command):

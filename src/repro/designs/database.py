@@ -200,11 +200,37 @@ class ExpertDatabase:
                 entry.failed[strategy_name] = result.error or "unknown"
         self.entries[design.name] = entry
         self.design_index.add(design.name, embedding, payload=entry)
-        for mod_name, mod_emb in module_embeddings.items():
-            self.module_index.add(
-                (design.name, mod_name), mod_emb, payload=entry
+        if module_embeddings:
+            # One contiguous block copy instead of a per-module add loop.
+            mod_names = list(module_embeddings)
+            self.module_index.add_batch(
+                [(design.name, mod_name) for mod_name in mod_names],
+                np.stack([module_embeddings[name] for name in mod_names]),
+                payloads=[entry] * len(mod_names),
             )
         return entry
+
+    # -- multi-query retrieval -------------------------------------------------
+
+    def search_designs(self, query_embeddings: np.ndarray, k: int = 3) -> list[list]:
+        """Design-index hits for one or many query embeddings.
+
+        More than one query in hand routes through the index's stacked
+        ``search_batch`` kernel (one distance computation for the whole
+        batch — exact under the default :class:`FlatIndex`, lockstep beam
+        under ``REPRO_ANN``); a single query keeps the scalar path.
+        """
+        query_embeddings = np.atleast_2d(np.asarray(query_embeddings, dtype=np.float64))
+        if query_embeddings.shape[0] == 1:
+            return [self.design_index.search(query_embeddings[0], k=k)]
+        return self.design_index.search_batch(query_embeddings, k=k)
+
+    def search_modules(self, query_embeddings: np.ndarray, k: int = 3) -> list[list]:
+        """Module-index twin of :meth:`search_designs`."""
+        query_embeddings = np.atleast_2d(np.asarray(query_embeddings, dtype=np.float64))
+        if query_embeddings.shape[0] == 1:
+            return [self.module_index.search(query_embeddings[0], k=k)]
+        return self.module_index.search_batch(query_embeddings, k=k)
 
     def __len__(self) -> int:
         return len(self.entries)

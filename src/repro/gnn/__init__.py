@@ -10,6 +10,7 @@ from .batch import (
     GraphBatch,
     accumulation_order,
     batch_gnn_enabled,
+    embed_graph_groups,
     embedding_cache,
     pack_graphs,
     release_state,
@@ -27,6 +28,7 @@ __all__ = [
     "GraphSAGE",
     "GraphBatch",
     "accumulation_order",
+    "embed_graph_groups",
     "pack_graphs",
     "release_state",
     "batch_gnn_enabled",

@@ -879,3 +879,25 @@ def embed_graphs_cached(model, graphs: list[GraphData]) -> np.ndarray:
     for pos, src in duplicates:
         out[pos] = out[src]
     return out
+
+
+def embed_graph_groups(model, groups: list[list[GraphData]]) -> list[np.ndarray]:
+    """Embed several graph *groups* in one batched forward.
+
+    This is the heterogeneous-arrival entry the serving layer coalesces
+    on: each group is one logical unit (e.g. the module graphs of one
+    design under analysis), and all groups' graphs are concatenated into
+    a single :func:`embed_graphs_cached` call — one packed batch, one
+    cache sweep — then sliced back per group.  The parity contract makes
+    the grouping immaterial: each returned row is bit-exact with what a
+    per-group (or per-graph) call would produce.
+    """
+    flat: list[GraphData] = [graph for group in groups for graph in group]
+    perf.incr("gnn.group_embeds", len(groups))
+    embeddings = embed_graphs_cached(model, flat)
+    out: list[np.ndarray] = []
+    offset = 0
+    for group in groups:
+        out.append(embeddings[offset:offset + len(group)])
+        offset += len(group)
+    return out

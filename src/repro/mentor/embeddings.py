@@ -58,7 +58,33 @@ class CircuitEncoder:
         A design with a single (or flattened) module simply returns that
         module's embedding.
         """
-        embeddings = list(self.embed_modules(circuit).values())
+        names = list(circuit.module_graphs)
+        raw = self.model.embed_graphs([circuit.module_graphs[n] for n in names])
+        return self._pool_design(raw)
+
+    def embed_designs(self, circuits: list[CircuitGraph]) -> list[np.ndarray]:
+        """Design embeddings for many circuits in one batched GNN forward.
+
+        All circuits' module graphs are concatenated into a single
+        :func:`~repro.gnn.batch.embed_graph_groups` call — the coalesced
+        path the serving engine uses when several sessions' analyze steps
+        are pending at once.  Each returned embedding is bit-exact with a
+        standalone :meth:`embed_design` call for that circuit.
+        """
+        from ..gnn.batch import embed_graph_groups
+
+        groups = [
+            [circuit.module_graphs[name] for name in list(circuit.module_graphs)]
+            for circuit in circuits
+        ]
+        return [
+            self._pool_design(raw)
+            for raw in embed_graph_groups(self.model, groups)
+        ]
+
+    def _pool_design(self, raw: np.ndarray) -> np.ndarray:
+        """Mean-pool raw module rows into one normalized design embedding."""
+        embeddings = [_normalize(raw[row]) for row in range(raw.shape[0])]
         if not embeddings:
             return np.zeros(self.embedding_dim)
         return _normalize(np.mean(embeddings, axis=0))

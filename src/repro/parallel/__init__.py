@@ -74,6 +74,7 @@ __all__ = [
     "effective_backend",
     "in_worker",
     "parallel_map",
+    "parallel_map_async",
     "shared",
     "resolve_shared",
     "release_shared",
@@ -295,6 +296,35 @@ def parallel_map(
         if result is not _FALLBACK:
             return result
     return _thread_map(fn, work, workers, label)
+
+
+async def parallel_map_async(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    label: str = "repro-eval",
+    backend: str | None = None,
+    cost: Callable[[T], float] | None = None,
+    executor=None,
+) -> list[R]:
+    """Async bridge onto :func:`parallel_map` for event-loop callers.
+
+    The blocking map runs in ``executor`` (or the loop's default) so the
+    serving engine's other stage coroutines keep draining their queues
+    while a fan-out is in flight.  Same contract as :func:`parallel_map`:
+    input order preserved, lowest-index exception propagates.
+    """
+    import asyncio
+    import functools
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(
+        executor,
+        functools.partial(
+            parallel_map, fn, list(items),
+            jobs=jobs, label=label, backend=backend, cost=cost,
+        ),
+    )
 
 
 def shutdown_pools() -> None:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import threading
 import time
 from multiprocessing import get_context
 from multiprocessing.connection import wait as connection_wait
@@ -94,6 +95,10 @@ class ProcessPool:
         #: Live view of the in-flight map (scheduler + busy set), read by
         #: the metrics collector for queue-depth gauges; None between maps.
         self.active: dict | None = None
+        #: One map at a time: the scheduler, busy set and worker pipes are
+        #: shared pool state, so concurrent maps (e.g. two serving-engine
+        #: stage fan-outs overlapping from executor threads) serialize here.
+        self._map_lock = threading.Lock()
         ctx = get_context("spawn")
         trace_base = os.environ.get("REPRO_TRACE", "").strip() or None
         self.workers: list[_Worker] = []
@@ -166,7 +171,14 @@ class ProcessPool:
         return payloads, handles
 
     def map(self, fn, items, label: str = "repro-eval", cost=None) -> list:
-        """Order-preserving map with serial-equivalent exception semantics."""
+        """Order-preserving map with serial-equivalent exception semantics.
+
+        Thread-safe: concurrent callers serialize on the pool's map lock.
+        """
+        with self._map_lock:
+            return self._map_locked(fn, items, label, cost)
+
+    def _map_locked(self, fn, items, label: str, cost) -> list:
         if self.closed:
             raise RuntimeError("pool is shut down")
         work = list(items)

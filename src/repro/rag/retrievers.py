@@ -79,9 +79,13 @@ class EmbeddingRetriever:
         self.rerank_overfetch = rerank_overfetch
 
     def _metric(self, entry) -> float:
-        value = entry.characteristics()[self.characteristic]
+        return self._metric_for(entry, self.characteristic)
+
+    @staticmethod
+    def _metric_for(entry, characteristic: str) -> float:
+        value = entry.characteristics()[characteristic]
         # For area/leakage smaller is better; cps larger is better.
-        return value if self.characteristic == "cps" else -value
+        return value if characteristic == "cps" else -value
 
     def _fetch_k(self, k: int, rerank: bool) -> int:
         return k * self.rerank_overfetch if rerank else k
@@ -95,6 +99,41 @@ class EmbeddingRetriever:
         if rerank:
             hits = domain_rerank(hits, self._metric, self.alpha, self.beta)
         return hits[:k]
+
+    def retrieve_designs_batch(
+        self,
+        query_embeddings: np.ndarray,
+        k: int = 3,
+        rerank: bool = True,
+        characteristics: list[str] | None = None,
+    ) -> list[list[SearchResult]]:
+        """Batched :meth:`retrieve_designs`: one stacked kNN for all queries.
+
+        ``characteristics`` optionally overrides the rerank characteristic
+        per query — the serving engine coalesces sessions with different
+        requirement objectives into one batch, so the Eq. 5 rerank must
+        not depend on this (shared) retriever's mutable attribute.
+        """
+        query_embeddings = np.atleast_2d(np.asarray(query_embeddings, dtype=np.float64))
+        if characteristics is not None and len(characteristics) != query_embeddings.shape[0]:
+            raise ValueError("characteristics length must match query count")
+        rows = self.database.search_designs(
+            query_embeddings, k=self._fetch_k(k, rerank)
+        )
+        out: list[list[SearchResult]] = []
+        for row, hits in enumerate(rows):
+            if rerank:
+                characteristic = (
+                    characteristics[row] if characteristics else self.characteristic
+                )
+                hits = domain_rerank(
+                    hits,
+                    lambda entry: self._metric_for(entry, characteristic),
+                    self.alpha,
+                    self.beta,
+                )
+            out.append(hits[:k])
+        return out
 
     def retrieve_modules(
         self, query_embedding: np.ndarray, k: int = 3, rerank: bool = True
@@ -111,18 +150,29 @@ class EmbeddingRetriever:
     ) -> list[StrategyHit]:
         """Top strategies from the k most similar database designs."""
         hits = self.retrieve_designs(query_embedding, k=k)
-        out = []
-        for hit in hits:
-            entry = hit.payload
-            out.append(
-                StrategyHit(
-                    design=entry.design.name,
-                    strategy=entry.best_strategy,
-                    similarity=hit.score,
-                    characteristics=entry.characteristics(),
-                )
-            )
-        return out
+        return [self._strategy_hit(hit) for hit in hits]
+
+    def retrieve_strategies_batch(
+        self,
+        query_embeddings: np.ndarray,
+        k: int = 3,
+        characteristics: list[str] | None = None,
+    ) -> list[list[StrategyHit]]:
+        """Batched :meth:`retrieve_strategies` over stacked design queries."""
+        rows = self.retrieve_designs_batch(
+            query_embeddings, k=k, characteristics=characteristics
+        )
+        return [[self._strategy_hit(hit) for hit in hits] for hits in rows]
+
+    @staticmethod
+    def _strategy_hit(hit: SearchResult) -> StrategyHit:
+        entry = hit.payload
+        return StrategyHit(
+            design=entry.design.name,
+            strategy=entry.best_strategy,
+            similarity=hit.score,
+            characteristics=entry.characteristics(),
+        )
 
 
 def load_library_graph(library: TechLibrary, store: GraphStore | None = None) -> GraphStore:
@@ -236,6 +286,36 @@ class ManualRetriever:
         # Over-fetch only when an LLM rerank will actually reorder the hits.
         rerank = rerank and self.reranker is not None
         hits = self.index.search(self.embedder.embed(query), k=k * 2 if rerank else k)
+        return self._finalize(query, hits, k, rerank)
+
+    def retrieve_batch(
+        self, queries: list[str], k: int = 3, rerank: bool = True
+    ) -> list[list[ManualHit]]:
+        """Batched :meth:`retrieve`: one stacked index search for all queries.
+
+        With more than one query in hand the embedding lookups run as a
+        single ``search_batch`` kernel call (exact FlatIndex or lockstep
+        HNSW under ``REPRO_ANN``); the per-query LLM rerank then reorders
+        each row independently, so row ``i`` matches ``retrieve(queries[i])``.
+        """
+        if not queries:
+            return []
+        rerank = rerank and self.reranker is not None
+        fetch_k = k * 2 if rerank else k
+        if len(queries) == 1:
+            hits_rows = [self.index.search(self.embedder.embed(queries[0]), k=fetch_k)]
+        else:
+            stacked = np.stack([self.embedder.embed(query) for query in queries])
+            hits_rows = self.index.search_batch(stacked, k=fetch_k)
+        return [
+            self._finalize(query, hits, k, rerank)
+            for query, hits in zip(queries, hits_rows)
+        ]
+
+    def _finalize(
+        self, query: str, hits: list[SearchResult], k: int, rerank: bool
+    ) -> list[ManualHit]:
+        """Shared tail of single and batched retrieval: rerank + truncate."""
         if rerank:
             ordered_ids = self.reranker.rerank(
                 query, [(h.key, h.payload.text) for h in hits], k=k

@@ -81,18 +81,29 @@ class SynthRAG:
         llm: LLMClient | None = None,
         alpha: float = 0.7,
         beta: float = 0.3,
+        manual_retriever: ManualRetriever | None = None,
+        library_store: GraphStore | None = None,
     ) -> "SynthRAG":
-        """Assemble SynthRAG for one design under customization."""
+        """Assemble SynthRAG for one design under customization.
+
+        ``manual_retriever``/``library_store`` let a serving engine share
+        the (deterministically constructed, read-only) manual index and
+        library graph across all live sessions instead of rebuilding them
+        per request.
+        """
         library = library or nangate45()
         circuit_store = circuit.store if circuit is not None else GraphStore()
-        library_store = load_library_graph(library)
+        if library_store is None:
+            library_store = load_library_graph(library)
         reranker = LLMReranker(llm) if llm is not None else None
+        if manual_retriever is None:
+            manual_retriever = ManualRetriever(reranker=reranker)
         return cls(
             database=database,
             encoder=database.encoder,
             embedding_retriever=EmbeddingRetriever(database, alpha=alpha, beta=beta),
             structure_retriever=StructureRetriever(circuit_store, library_store, llm=llm),
-            manual_retriever=ManualRetriever(reranker=reranker),
+            manual_retriever=manual_retriever,
         )
 
     # -- graph-embedding mode -------------------------------------------------
@@ -156,6 +167,37 @@ class SynthRAG:
                 scores=[round(h.score, 4) for h in hits],
             )
             return hits
+
+    def manual_batch(self, queries: list[str], k: int = 3):
+        """Batched :meth:`manual`: one stacked search for many queries.
+
+        Used when several step queries are in hand at once — a whole CoT
+        draft's revision pass, or many sessions' coalesced retrieve stage.
+        Row ``i`` matches ``manual(queries[i])`` exactly in hit order.
+        """
+        with obs.span("rag.manual", k=k, batch=len(queries)) as sp:
+            rows = self.manual_retriever.retrieve_batch(queries, k=k)
+            sp.set_attributes(
+                hits=sum(len(hits) for hits in rows),
+                commands=[[h.command for h in hits] for hits in rows],
+            )
+            return rows
+
+    def retrieve_strategies_batch(
+        self,
+        query_embeddings: np.ndarray,
+        k: int = 3,
+        characteristics: list[str] | None = None,
+    ) -> list[list[StrategyHit]]:
+        """Batched :meth:`retrieve_strategies` over stacked design queries."""
+        with obs.span(
+            "rag.embedding", mode="strategies", k=k, batch=len(query_embeddings)
+        ) as sp:
+            rows = self.embedding_retriever.retrieve_strategies_batch(
+                query_embeddings, k=k, characteristics=characteristics
+            )
+            sp.set_attribute("hits", sum(len(hits) for hits in rows))
+            return rows
 
     def command_exists(self, command: str) -> bool:
         """Whether the manual documents the command (hallucination check)."""

@@ -1,0 +1,25 @@
+"""ChatLS-as-a-service: async micro-batched serving of the customize pipeline.
+
+The sequential :meth:`ChatLS.customize_and_evaluate` call becomes an
+explicit staged chain (``analyze -> retrieve -> draft -> revise ->
+synthesize``) over a typed, checkpointable :class:`ChainState`; the
+:class:`ServeEngine` runs many sessions concurrently and coalesces each
+stage's pending work across sessions into batched kernel calls (grouped
+GNN embeds, stacked kNN searches, pooled synthesis fan-out) under a
+:class:`BatchPolicy` (``REPRO_SERVE_BATCH_MAX`` /
+``REPRO_SERVE_BATCH_WAIT_MS``).  Per-session results are identical to
+the sequential loop; only the schedule changes.
+"""
+
+from .engine import BatchPolicy, MicroBatcher, ServeEngine
+from .state import DONE, STAGES, ChainState, ServeRequest
+
+__all__ = [
+    "BatchPolicy",
+    "ChainState",
+    "DONE",
+    "MicroBatcher",
+    "STAGES",
+    "ServeEngine",
+    "ServeRequest",
+]

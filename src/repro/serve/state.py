@@ -1,0 +1,151 @@
+"""Typed, checkpointable per-session state for the serving engine.
+
+``ChainState`` is the explicit form of what :meth:`ChatLS.customize`
+keeps implicit on the call stack: the staged pipeline
+
+    analyze -> retrieve -> draft -> revise -> synthesize
+
+with every intermediate artifact (requirement, analysis, design
+embedding, retrieval bundle, draft, refined script/trace, QoR) as a
+picklable field.  The engine checkpoints the state after each completed
+stage (atomic ``tmp + os.replace`` write), so a killed server resumes a
+session by running only the stages that have not completed yet.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.chatls import CustomizationResult
+from ..core.generator import DraftRetrieval, DraftResult
+from ..core.requirements import Requirement
+from ..core.thoughts import CoTTrace
+from ..mentor.analyzer import DesignAnalysis
+
+__all__ = ["STAGES", "DONE", "ServeRequest", "ChainState"]
+
+#: The staged decomposition of ``ChatLS.customize_and_evaluate``.
+STAGES: tuple[str, ...] = ("analyze", "retrieve", "draft", "revise", "synthesize")
+
+#: Terminal stage marker: every stage of the chain has completed.
+DONE = "done"
+
+
+@dataclass
+class ServeRequest:
+    """One customization request submitted to the serving engine.
+
+    Mirrors the :meth:`ChatLS.customize_and_evaluate` signature;
+    ``evaluate=False`` stops after revision (the :meth:`ChatLS.customize`
+    contract, no synthesis run).
+    """
+
+    verilog: str
+    design_name: str
+    baseline_script: str
+    requirement: str | Requirement
+    tool_report: str = ""
+    top: str | None = None
+    clock_period: float = 1.0
+    seed: int = 0
+    evaluate: bool = True
+    session_id: str | None = None
+
+
+@dataclass
+class ChainState:
+    """The session's progress through the staged pipeline.
+
+    ``stage`` names the *next* stage to run (or :data:`DONE`);
+    ``completed`` records the stages already run, in order.  All fields
+    are picklable, which is the whole point: a saved state resumes with
+    zero recomputation of completed stages.
+    """
+
+    request: ServeRequest
+    stage: str = STAGES[0]
+    completed: tuple[str, ...] = ()
+
+    # Stage artifacts, filled in as the chain advances.
+    requirement: Requirement | None = None
+    analysis: DesignAnalysis | None = None
+    design_embedding: Any = None
+    retrieval: DraftRetrieval | None = None
+    draft: DraftResult | None = None
+    script: str | None = None
+    trace: CoTTrace | None = None
+    qor: Any = None
+    executable: bool = True
+    error: str | None = None
+
+    def stages(self) -> tuple[str, ...]:
+        """The stages this session runs (``evaluate=False`` skips synthesis)."""
+        return STAGES if self.request.evaluate else STAGES[:-1]
+
+    def remaining(self) -> tuple[str, ...]:
+        """Stages still to run, starting with :attr:`stage`."""
+        if self.stage == DONE:
+            return ()
+        stages = self.stages()
+        return stages[stages.index(self.stage):]
+
+    def advance(self) -> None:
+        """Mark the current stage completed and move to the next."""
+        if self.stage == DONE:
+            raise ValueError("chain already completed")
+        stages = self.stages()
+        index = stages.index(self.stage)
+        self.completed = self.completed + (self.stage,)
+        self.stage = stages[index + 1] if index + 1 < len(stages) else DONE
+
+    def result(self) -> CustomizationResult:
+        """The finished session as a :class:`CustomizationResult`.
+
+        Field-for-field what the sequential ``customize`` /
+        ``customize_and_evaluate`` call would have returned.
+        """
+        if self.stage != DONE:
+            raise ValueError(f"chain not finished (next stage: {self.stage})")
+        return CustomizationResult(
+            script=self.script,
+            analysis=self.analysis,
+            trace=self.trace,
+            prompt=self.draft.prompt if self.draft is not None else "",
+            qor=self.qor,
+            executable=self.executable,
+            error=self.error,
+            seed=self.request.seed,
+        )
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def save(self, path: str) -> str:
+        """Atomically persist the state: write a sibling tmp, then rename.
+
+        ``os.replace`` is atomic on POSIX, so a reader (or a resumed
+        server) only ever sees the previous complete checkpoint or the
+        new complete checkpoint — never a torn write.
+        """
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(self, fh)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ChainState":
+        with open(path, "rb") as fh:
+            state = pickle.load(fh)
+        if not isinstance(state, cls):
+            raise ValueError(f"{path}: not a ChainState checkpoint")
+        return state

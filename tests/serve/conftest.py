@@ -1,0 +1,126 @@
+"""Shared fixtures for the serving-engine suite: a tiny corpus + requests."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import ChatLS
+from repro.designs.chipyard import generate_family_variant
+from repro.designs.database import ExpertDatabase
+from repro.llm import chatls_core
+from repro.mentor import CircuitEncoder
+from repro.serve import ServeRequest
+
+
+def _baseline(design) -> str:
+    return "\n".join(
+        [
+            f"read_verilog {design.name}",
+            f"current_design {design.name}",
+            "link",
+            "create_clock -period 1.0 clk",
+            "compile",
+        ]
+    )
+
+
+def _make_requests(evaluate: bool = True) -> list[ServeRequest]:
+    """Three sessions over distinct designs and rerank characteristics."""
+    specs = [
+        ("rocket", 3, "fix the negative slack and improve timing"),
+        ("sha3", 4, "reduce area"),
+        ("gemmini", 5, "cut leakage power"),
+    ]
+    requests = []
+    for seed, (family, variant, text) in enumerate(specs):
+        design = generate_family_variant(family, variant)
+        requests.append(
+            ServeRequest(
+                verilog=design.verilog,
+                design_name=design.name,
+                baseline_script=_baseline(design),
+                requirement=text,
+                top=design.top,
+                clock_period=1.2,
+                seed=seed,
+                evaluate=evaluate,
+            )
+        )
+    return requests
+
+
+def _sequential_results(chatls: ChatLS, requests, evaluate: bool = True):
+    """The ground truth: a plain sequential loop over the same requests."""
+    out = []
+    for request in requests:
+        kwargs = dict(
+            verilog=request.verilog,
+            design_name=request.design_name,
+            baseline_script=request.baseline_script,
+            requirement=request.requirement,
+            tool_report=request.tool_report,
+            top=request.top,
+            clock_period=request.clock_period,
+            seed=request.seed,
+        )
+        if evaluate:
+            out.append(chatls.customize_and_evaluate(**kwargs))
+        else:
+            out.append(chatls.customize(**kwargs))
+    return out
+
+
+def _assert_identical(served, expected) -> None:
+    """Bit-identical per-session outputs: script, trace, QoR, prompt, flags."""
+    assert len(served) == len(expected)
+    for index, (got, want) in enumerate(zip(served, expected)):
+        assert got.script == want.script, f"session {index}: script differs"
+        assert pickle.dumps(got.trace) == pickle.dumps(
+            want.trace
+        ), f"session {index}: trace differs"
+        assert got.prompt == want.prompt, f"session {index}: prompt differs"
+        assert pickle.dumps(got.qor) == pickle.dumps(
+            want.qor
+        ), f"session {index}: QoR differs"
+        assert got.executable == want.executable, f"session {index}: executable"
+        assert got.error == want.error, f"session {index}: error"
+        assert got.seed == want.seed, f"session {index}: seed"
+
+
+@pytest.fixture(scope="package")
+def tiny_database():
+    db = ExpertDatabase(CircuitEncoder(seed=0))
+    for family in ("rocket", "sha3"):
+        db.add_design(
+            generate_family_variant(family, 0),
+            strategies=["baseline_compile", "ultra_retime"],
+        )
+    return db
+
+
+@pytest.fixture(scope="package")
+def chatls(tiny_database):
+    return ChatLS(tiny_database, llm=chatls_core())
+
+
+@pytest.fixture(scope="package")
+def make_requests():
+    return _make_requests
+
+
+@pytest.fixture(scope="package")
+def sequential_results():
+    return _sequential_results
+
+
+@pytest.fixture(scope="package")
+def assert_identical():
+    return _assert_identical
+
+
+@pytest.fixture(scope="package")
+def expected_results(chatls):
+    """Sequential customize_and_evaluate over the standard request set."""
+    return _sequential_results(chatls, _make_requests())

@@ -1,0 +1,166 @@
+"""ChainState checkpointing: atomic writes, crash injection, partial resume."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.serve import STAGES, BatchPolicy, ChainState, ServeEngine, ServeRequest
+
+
+class _InjectedCrash(RuntimeError):
+    pass
+
+
+def _checkpoint_paths(directory) -> list[str]:
+    return sorted(
+        str(directory / name)
+        for name in os.listdir(directory)
+        if name.endswith(".ckpt")
+    )
+
+
+class TestChainState:
+    def test_advance_walks_all_stages(self):
+        state = ChainState(request=ServeRequest("v", "d", "b", "improve timing"))
+        seen = []
+        while state.stage != "done":
+            seen.append(state.stage)
+            state.advance()
+        assert tuple(seen) == STAGES
+        assert state.completed == STAGES
+        with pytest.raises(ValueError):
+            state.advance()
+
+    def test_no_evaluate_skips_synthesize(self):
+        state = ChainState(
+            request=ServeRequest("v", "d", "b", "improve timing", evaluate=False)
+        )
+        assert state.stages() == STAGES[:-1]
+        assert "synthesize" not in state.remaining()
+
+    def test_result_requires_completion(self):
+        state = ChainState(request=ServeRequest("v", "d", "b", "improve timing"))
+        with pytest.raises(ValueError, match="not finished"):
+            state.result()
+
+    def test_save_load_roundtrip(self, tmp_path):
+        state = ChainState(request=ServeRequest("v", "d", "b", "improve timing"))
+        state.advance()
+        path = str(tmp_path / "s.ckpt")
+        state.save(path)
+        loaded = ChainState.load(path)
+        assert pickle.dumps(loaded) == pickle.dumps(state)
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_save_is_atomic_under_write_failure(self, tmp_path, monkeypatch):
+        """A failed overwrite leaves the previous checkpoint intact."""
+        path = str(tmp_path / "s.ckpt")
+        first = ChainState(request=ServeRequest("v", "d", "b", "improve timing"))
+        first.save(path)
+
+        second = ChainState(request=ServeRequest("v2", "d2", "b2", "reduce area"))
+        import repro.serve.state as state_mod
+
+        def explode(obj, fh):
+            fh.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(state_mod.pickle, "dump", explode)
+        with pytest.raises(OSError, match="disk full"):
+            second.save(path)
+        monkeypatch.undo()
+
+        survivor = ChainState.load(path)
+        assert survivor.request.design_name == "d"
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_load_rejects_non_checkpoint(self, tmp_path):
+        path = tmp_path / "bogus.ckpt"
+        path.write_bytes(pickle.dumps({"not": "a chain state"}))
+        with pytest.raises(ValueError, match="not a ChainState"):
+            ChainState.load(str(path))
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("crash_after", ["analyze", "retrieve", "draft", "revise"])
+    def test_kill_after_stage_resumes_remaining_only(
+        self, chatls, make_requests, expected_results, assert_identical,
+        tmp_path, crash_after,
+    ):
+        engine = ServeEngine(
+            chatls,
+            policy=BatchPolicy(batch_max=8, batch_wait_ms=5.0),
+            checkpoint_dir=str(tmp_path),
+        )
+
+        def bomb(state, stage):
+            if stage == crash_after:
+                raise _InjectedCrash(f"killed after {stage}")
+
+        engine._after_stage = bomb
+        with pytest.raises(_InjectedCrash):
+            engine.run(make_requests())
+
+        paths = _checkpoint_paths(tmp_path)
+        assert len(paths) == 3
+        completed_through = STAGES[: STAGES.index(crash_after) + 1]
+        for path in paths:
+            state = ChainState.load(path)
+            assert state.completed == completed_through
+
+        fresh = ServeEngine(
+            chatls,
+            policy=BatchPolicy(batch_max=8, batch_wait_ms=5.0),
+            checkpoint_dir=str(tmp_path),
+        )
+        resumed = fresh.resume(paths)
+        assert_identical(resumed, expected_results)
+        # Completed stages were NOT re-run; remaining stages ran for all.
+        for stage in completed_through:
+            assert fresh.stage_sessions[stage] == 0, stage
+        for stage in STAGES[STAGES.index(crash_after) + 1:]:
+            assert fresh.stage_sessions[stage] == 3, stage
+
+    def test_kill_after_draft_runs_only_revise_synthesize(
+        self, chatls, make_requests, expected_results, assert_identical, tmp_path
+    ):
+        """The ISSUE's acceptance scenario, spelled out end to end."""
+        engine = ServeEngine(
+            chatls,
+            policy=BatchPolicy(batch_max=8, batch_wait_ms=5.0),
+            checkpoint_dir=str(tmp_path),
+        )
+
+        def bomb(state, stage):
+            if stage == "draft":
+                raise _InjectedCrash("killed after draft")
+
+        engine._after_stage = bomb
+        with pytest.raises(_InjectedCrash):
+            engine.run(make_requests())
+
+        fresh = ServeEngine(chatls, checkpoint_dir=str(tmp_path))
+        resumed = fresh.resume(_checkpoint_paths(tmp_path))
+        assert fresh.stage_sessions == {
+            "analyze": 0, "retrieve": 0, "draft": 0, "revise": 3, "synthesize": 3,
+        }
+        assert_identical(resumed, expected_results)
+
+    def test_completed_checkpoint_resumes_to_result(
+        self, chatls, make_requests, expected_results, assert_identical, tmp_path
+    ):
+        engine = ServeEngine(
+            chatls,
+            policy=BatchPolicy(batch_max=8, batch_wait_ms=5.0),
+            checkpoint_dir=str(tmp_path),
+        )
+        first = engine.run(make_requests())
+        assert_identical(first, expected_results)
+
+        fresh = ServeEngine(chatls)
+        resumed = fresh.resume(_checkpoint_paths(tmp_path))
+        assert_identical(resumed, expected_results)
+        assert all(count == 0 for count in fresh.stage_sessions.values())

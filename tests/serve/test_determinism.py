@@ -1,0 +1,83 @@
+"""Hypothesis: serving is bit-identical to sequential under any schedule.
+
+Randomized arrival orders and batching policies must never change any
+session's result: micro-batching alters the *schedule* of the pipeline,
+not its computation.  The same property is asserted over both executor
+backends (thread here; process in its own seeded test — pool spawn is
+too expensive per hypothesis example).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve import BatchPolicy, ServeEngine
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@given(
+    delays=st.permutations([0.0, 0.002, 0.004]),
+    batch_max=st.sampled_from([1, 2, 3, 8]),
+    wait_ms=st.sampled_from([0.0, 2.0, 20.0]),
+)
+@SETTINGS
+def test_arrival_order_and_policy_invariance(
+    chatls, make_requests, expected_results, assert_identical,
+    delays, batch_max, wait_ms,
+):
+    engine = ServeEngine(
+        chatls, policy=BatchPolicy(batch_max=batch_max, batch_wait_ms=wait_ms)
+    )
+    served = engine.run(make_requests(), arrival_delays=list(delays))
+    assert_identical(served, expected_results)
+
+
+@given(delays=st.permutations([0.0, 0.002, 0.004]))
+@SETTINGS
+def test_arrival_order_invariance_process_backend_fallback(
+    chatls, make_requests, expected_results, assert_identical, delays
+):
+    """Thread fan-out inside the stage executor, randomized arrivals."""
+    engine = ServeEngine(
+        chatls,
+        policy=BatchPolicy(batch_max=3, batch_wait_ms=10.0),
+        backend="thread",
+        jobs=3,
+    )
+    served = engine.run(make_requests(), arrival_delays=list(delays))
+    assert_identical(served, expected_results)
+
+
+def test_permuted_arrivals_process_backend(
+    chatls, make_requests, expected_results, assert_identical
+):
+    """One seeded arrival permutation through the warm process pool."""
+    from repro.parallel import shutdown_pools
+
+    engine = ServeEngine(
+        chatls,
+        policy=BatchPolicy(batch_max=3, batch_wait_ms=10.0),
+        backend="process",
+        jobs=2,
+    )
+    try:
+        served = engine.run(
+            make_requests(), arrival_delays=[0.004, 0.0, 0.002]
+        )
+    finally:
+        shutdown_pools()
+    assert_identical(served, expected_results)
+
+
+def test_repeated_runs_identical(chatls, make_requests, assert_identical):
+    """Two serve runs of the same requests agree with each other."""
+    engine = ServeEngine(chatls, policy=BatchPolicy(batch_max=8, batch_wait_ms=5.0))
+    first = engine.run(make_requests())
+    second = engine.run(make_requests())
+    assert_identical(second, first)

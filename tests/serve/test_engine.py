@@ -1,0 +1,172 @@
+"""Serving-engine behavior: parity, coalescing, policy, metrics, ledger."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import ChatLS
+from repro.obs import metrics as obs_metrics
+from repro.obs.ledger import load_manifest
+from repro.serve import BatchPolicy, ServeEngine, ServeRequest
+from repro.serve.engine import _serve_metric_families
+
+
+class TestBatchPolicy:
+    def test_defaults(self):
+        policy = BatchPolicy()
+        assert policy.batch_max >= 1
+        assert policy.batch_wait_ms >= 0
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_BATCH_MAX", "7")
+        monkeypatch.setenv("REPRO_SERVE_BATCH_WAIT_MS", "1.5")
+        policy = BatchPolicy.from_env()
+        assert policy.batch_max == 7
+        assert policy.batch_wait_ms == 1.5
+
+    def test_env_unset_uses_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_BATCH_MAX", raising=False)
+        monkeypatch.delenv("REPRO_SERVE_BATCH_WAIT_MS", raising=False)
+        assert BatchPolicy.from_env() == BatchPolicy()
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_BATCH_MAX", "many")
+        with pytest.raises(ValueError, match="REPRO_SERVE_BATCH_MAX"):
+            BatchPolicy.from_env()
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(batch_max=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(batch_wait_ms=-1)
+
+
+class TestServeParity:
+    def test_matches_sequential_loop(
+        self, chatls, make_requests, expected_results, assert_identical
+    ):
+        engine = ServeEngine(chatls, policy=BatchPolicy(batch_max=8, batch_wait_ms=5))
+        served = engine.run(make_requests())
+        assert_identical(served, expected_results)
+        # Every session went through every stage exactly once.
+        assert engine.stage_sessions == {
+            "analyze": 3, "retrieve": 3, "draft": 3, "revise": 3, "synthesize": 3,
+        }
+
+    def test_coalesces_concurrent_sessions(self, chatls, make_requests):
+        engine = ServeEngine(chatls, policy=BatchPolicy(batch_max=8, batch_wait_ms=50))
+        engine.run(make_requests())
+        # All three sessions arrive at once and fit one batch per stage.
+        for name in ("retrieve", "draft", "revise"):
+            assert engine.batchers[name].batch_count == 1, name
+            assert engine.batchers[name].max_batch == 3, name
+
+    def test_batch_max_one_is_sequential_batching(
+        self, chatls, make_requests, expected_results, assert_identical
+    ):
+        engine = ServeEngine(chatls, policy=BatchPolicy(batch_max=1, batch_wait_ms=0))
+        served = engine.run(make_requests())
+        assert_identical(served, expected_results)
+        assert engine.batchers["retrieve"].max_batch == 1
+        assert engine.batchers["retrieve"].batch_count == 3
+
+    def test_no_evaluate_matches_customize(
+        self, chatls, make_requests, sequential_results, assert_identical
+    ):
+        requests = make_requests(evaluate=False)
+        engine = ServeEngine(chatls, policy=BatchPolicy(batch_max=8, batch_wait_ms=5))
+        served = engine.run(requests)
+        assert_identical(
+            served, sequential_results(chatls, requests, evaluate=False)
+        )
+        assert all(result.qor is None for result in served)
+        assert engine.stage_sessions["synthesize"] == 0
+
+    def test_empty_run(self, chatls):
+        assert ServeEngine(chatls).run([]) == []
+
+    def test_process_backend(
+        self, chatls, make_requests, expected_results, assert_identical
+    ):
+        from repro.parallel import shutdown_pools
+
+        engine = ServeEngine(
+            chatls,
+            policy=BatchPolicy(batch_max=8, batch_wait_ms=5),
+            backend="process",
+            jobs=2,
+        )
+        try:
+            served = engine.run(make_requests())
+        finally:
+            shutdown_pools()
+        assert_identical(served, expected_results)
+
+
+class TestAblationParity:
+    """The serve path must honour the paper's ablation switches."""
+
+    def test_no_rag(self, tiny_database, make_requests, sequential_results,
+                    assert_identical):
+        from repro.llm import chatls_core
+
+        ablated = ChatLS(tiny_database, llm=chatls_core(), use_rag=False)
+        requests = make_requests()
+        engine = ServeEngine(ablated, policy=BatchPolicy(batch_max=8, batch_wait_ms=5))
+        assert_identical(
+            engine.run(requests), sequential_results(ablated, requests)
+        )
+
+    def test_no_synthexpert(self, tiny_database, make_requests, sequential_results,
+                            assert_identical):
+        from repro.llm import chatls_core
+
+        ablated = ChatLS(tiny_database, llm=chatls_core(), use_synthexpert=False)
+        requests = make_requests()
+        engine = ServeEngine(ablated, policy=BatchPolicy(batch_max=8, batch_wait_ms=5))
+        served = engine.run(requests)
+        assert_identical(served, sequential_results(ablated, requests))
+        assert all(len(result.trace.steps) == 0 for result in served)
+
+
+class TestServeObservability:
+    def test_batch_size_histogram_recorded(self, chatls, make_requests):
+        engine = ServeEngine(chatls, policy=BatchPolicy(batch_max=8, batch_wait_ms=5))
+        engine.run(make_requests())
+        rendered = obs_metrics.render()
+        assert "repro_serve_batch_size_bucket" in rendered
+        assert 'stage="retrieve"' in rendered
+
+    def test_gauges_collectable(self, chatls, make_requests):
+        engine = ServeEngine(chatls, policy=BatchPolicy(batch_max=8, batch_wait_ms=5))
+        engine.run(make_requests())
+        families = {family.name: family for family in _serve_metric_families()}
+        assert "repro_serve_inflight_sessions" in families
+        assert families["repro_serve_inflight_sessions"].samples[0].value == 0
+        assert "repro_serve_queue_depth" in families
+
+    def test_stage_timers_feed_perf(self, chatls, make_requests):
+        from repro import perf
+
+        engine = ServeEngine(chatls, policy=BatchPolicy(batch_max=8, batch_wait_ms=5))
+        engine.run(make_requests())
+        timers = perf.snapshot()["timers"]
+        for stage in ("analyze", "retrieve", "draft", "revise", "synthesize"):
+            assert f"serve.{stage}" in timers, stage
+
+    def test_run_ledger_manifest(self, chatls, make_requests, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_LEDGER", str(tmp_path))
+        engine = ServeEngine(chatls, policy=BatchPolicy(batch_max=8, batch_wait_ms=5))
+        engine.run(make_requests())
+        manifests = sorted(tmp_path.glob("*.json"))
+        assert manifests, "no manifest recorded"
+        manifest = load_manifest(str(manifests[-1]))
+        assert manifest["label"] == "serve"
+        serve = manifest["extra"]
+        assert serve["sessions"] == 3
+        assert serve["throughput_sessions_per_s"] > 0
+        assert serve["stages"]["retrieve"]["sessions"] == 3
+        assert any(name.startswith("serve.") for name in manifest["stages"])
+        json.dumps(manifest)  # manifest stays JSON-serializable
