@@ -7,10 +7,10 @@ engine on all seven OpenCores benchmarks.
 
 from __future__ import annotations
 
-import random
 import time
 
 from repro.designs.opencores import benchmark_names, get_benchmark
+from repro.rand import rng as seeded_rng
 from repro.hdl import elaborate
 from repro.synth import Constraints, TimingEngine, get_wireload, nangate45
 from repro.synth.techmap import map_to_library
@@ -37,7 +37,7 @@ def _random_resize(netlist, rng):
 
 
 def test_incremental_sta_speedup_and_parity(bench_results):
-    rng = random.Random(20260806)
+    rng = seeded_rng(20260806)
     incremental_s = 0.0
     full_s = 0.0
     per_design = {}

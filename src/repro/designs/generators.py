@@ -9,7 +9,7 @@ deterministic given its parameters.
 
 from __future__ import annotations
 
-import random
+from ..rand import rng as _seeded_rng
 
 __all__ = [
     "gen_alu",
@@ -137,7 +137,7 @@ endmodule
 
 def gen_sbox(name: str = "sbox", width: int = 8, seed: int = 7) -> str:
     """A random substitution box as a full case table (AES-style)."""
-    rng = random.Random(seed)
+    rng = _seeded_rng(seed)
     entries = list(range(2**width))
     rng.shuffle(entries)
     cases = "\n".join(
@@ -157,7 +157,7 @@ endmodule
 
 def gen_xor_network(name: str = "xornet", width: int = 32, taps: int = 6, seed: int = 3) -> str:
     """A deep XOR mixing network (MixColumns / CRC flavoured)."""
-    rng = random.Random(seed)
+    rng = _seeded_rng(seed)
     lines = []
     for i in range(width):
         chosen = rng.sample(range(width), min(taps, width))

@@ -2,7 +2,9 @@
 
 from .harness import (
     TIMING_REQUIREMENT,
+    ExploreQoRResult,
     baseline_script,
+    run_explore_qor,
     run_fig4_metric_learning,
     run_fig5_synthrag,
     run_table3_customization,
@@ -16,7 +18,9 @@ __all__ = [
     "parallel_map",
     "resolve_jobs",
     "TIMING_REQUIREMENT",
+    "ExploreQoRResult",
     "baseline_script",
+    "run_explore_qor",
     "run_fig4_metric_learning",
     "run_fig5_synthrag",
     "run_table3_customization",

@@ -22,8 +22,18 @@ from ..designs.opencores import Benchmark, benchmark_names, get_benchmark
 from ..llm.baselines import claude35, gpt4o
 from ..mentor.circuit_graph import build_circuit_graph
 from ..rag.retrievers import EmbeddingRetriever, ManualRetriever
+from ..hdl import elaborate
+from ..synth import (
+    Constraints,
+    PassContext,
+    explore_sizing,
+    get_wireload,
+    map_to_library,
+    nangate45,
+    size_gates,
+)
 from ..synth.cache import synthesize_cached
-from ..synth.reports import QoRSnapshot
+from ..synth.reports import QoRSnapshot, snapshot
 from .metrics import RetrievalScore, mean_f1, precision_recall_f1
 from ..parallel import (
     SharedRef,
@@ -41,6 +51,8 @@ __all__ = [
     "run_table3_customization",
     "run_fig5_synthrag",
     "run_fig4_metric_learning",
+    "run_explore_qor",
+    "ExploreQoRResult",
     "TIMING_REQUIREMENT",
 ]
 
@@ -293,6 +305,118 @@ def run_table3_customization(
         "table3",
         qor=qor,
         extra={"designs": names, "models": model_names, "k": k, "jobs": jobs},
+    )
+    return result
+
+
+# -- Explore QoR vs trial budget ---------------------------------------------
+
+
+@dataclass
+class ExploreQoRResult:
+    """QoR-vs-trial-budget curves for the design-space explorer.
+
+    ``greedy`` holds the reference point (compile-style greedy sizing);
+    ``curves[design][budget]`` the QoR after ``explore_sizing`` with that
+    per-chain trial budget on top of the same greedy starting point.
+    """
+
+    greedy: dict[str, QoRSnapshot] = field(default_factory=dict)
+    curves: dict[str, dict[int, QoRSnapshot]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        budgets = sorted({b for curve in self.curves.values() for b in curve})
+        headers = ["Design", "greedy WNS", "greedy Area"] + [
+            f"@{b}:{col}" for b in budgets for col in ("WNS", "Area")
+        ]
+        rows = []
+        for design, ref in self.greedy.items():
+            row: list = [design, ref.wns, ref.area]
+            for budget in budgets:
+                q = self.curves.get(design, {}).get(budget)
+                row += ["-", "-"] if q is None else [q.wns, q.area]
+            rows.append(row)
+        return render_table(
+            headers, rows, title="Explore: QoR vs per-chain trial budget"
+        )
+
+
+def _explore_qor_design(
+    task: tuple[str, tuple[int, ...], int, int | None],
+) -> tuple[str, QoRSnapshot, dict[int, QoRSnapshot]]:
+    """One design's QoR-vs-budget curve (module-level, process-safe).
+
+    Synthesizes the greedy reference once, then re-runs ``explore_sizing``
+    from a clone of that state at each budget.  Chains run serially inside
+    the task (``jobs=1``) so design-level fan-out composes with the
+    process backend without nested pools; the reduction is deterministic
+    per seed either way.
+    """
+    name, budgets, seed, chains = task
+    bench = get_benchmark(name)
+    library = nangate45()
+    wireload = get_wireload("5K_heavy_1k")
+    constraints = Constraints(clock_period=bench.clock_period)
+    with obs.span("eval.explore_design", design=name, budgets=len(budgets)):
+        netlist = elaborate(bench.verilog, top=bench.top)
+        map_to_library(netlist, library)
+        context = PassContext(netlist, library, wireload, constraints)
+        size_gates(netlist, library, wireload, constraints, context=context)
+        greedy = snapshot(name, context.engine, context.engine.analyze())
+        curve: dict[int, QoRSnapshot] = {}
+        for budget in budgets:
+            trial = netlist.clone()
+            trial_ctx = PassContext(trial, library, wireload, constraints)
+            explore_sizing(
+                trial, library, wireload, constraints,
+                budget=budget, seed=seed, chains=chains, jobs=1,
+                context=trial_ctx,
+            )
+            curve[budget] = snapshot(
+                name, trial_ctx.engine, trial_ctx.engine.analyze()
+            )
+    return name, greedy, curve
+
+
+def run_explore_qor(
+    designs: list[str] | None = None,
+    budgets: tuple[int, ...] = (30, 120, 240),
+    seed: int = 0,
+    chains: int | None = None,
+    jobs: int | None = None,
+) -> ExploreQoRResult:
+    """QoR-vs-trial-budget curves for the statistical explorer.
+
+    Each design starts from the same greedy ``size_gates`` reference and
+    runs ``explore_sizing`` at every budget in ``budgets``; designs fan
+    out through the parallel executor.  The run is recorded in the ledger
+    under label ``explore`` with ``greedy/<design>`` and
+    ``explore@<budget>/<design>`` QoR keys, so ledger diffs catch both
+    reference and explorer regressions.
+    """
+    obs.ensure_metrics_server()
+    names = list(designs or benchmark_names())
+    result = ExploreQoRResult()
+    tasks = [(name, tuple(budgets), seed, chains) for name in names]
+    with obs.span("eval.explore", designs=len(names), budgets=len(budgets)):
+        for name, greedy, curve in parallel_map(
+            _explore_qor_design, tasks, jobs=jobs, label="explore",
+            cost=lambda task: _design_cost(task[0]) * (1 + len(task[1])),
+        ):
+            result.greedy[name] = greedy
+            result.curves[name] = curve
+    qor: dict[str, QoRSnapshot] = {
+        f"greedy/{name}": q for name, q in result.greedy.items()
+    }
+    for name, curve in result.curves.items():
+        qor.update({f"explore@{b}/{name}": q for b, q in curve.items()})
+    obs.record_run(
+        "explore",
+        qor=qor,
+        extra={
+            "designs": names, "budgets": list(budgets), "seed": seed,
+            "chains": chains, "jobs": jobs,
+        },
     )
     return result
 

@@ -28,11 +28,12 @@ Usage::
 
 from __future__ import annotations
 
-import random
 import threading
 import time
 from contextlib import contextmanager
 from typing import Callable
+
+from .rand import rng as _seeded_rng
 
 __all__ = [
     "PerfRegistry",
@@ -69,7 +70,7 @@ class _Reservoir:
         self.samples: list[float] = []
         self.seen = 0
         self.max = 0.0
-        self._rng = random.Random(0x5EED)
+        self._rng = _seeded_rng(0x5EED)
 
     def add(self, value: float) -> None:
         self.seen += 1

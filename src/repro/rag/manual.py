@@ -82,6 +82,27 @@ MANUAL_ENTRIES: tuple[ManualEntry, ...] = (
         options=("-max_fanout <n>",),
     ),
     ManualEntry(
+        command="explore_sizing",
+        synopsis="statistical design-space exploration of gate sizes",
+        description=(
+            "Searches the gate-sizing design space with simulated "
+            "annealing: randomized multi-gate drive-strength moves are "
+            "scored by incremental static timing analysis, and several "
+            "independently seeded chains run in parallel with a best-of "
+            "reduction. Use after compile when the greedy sizing pass "
+            "plateaus: the explorer escapes local optima and never "
+            "degrades the starting timing/area point. The trial budget "
+            "bounds runtime; results are deterministic per seed."
+        ),
+        options=(
+            "-budget <trials per chain>",
+            "-chains <parallel restarts>",
+            "-seed <n>",
+            "-max_gates <gates per move>",
+            "-derate <ns pessimism margin>",
+        ),
+    ),
+    ManualEntry(
         command="set_max_fanout",
         synopsis="set the maximum fanout design rule",
         description=(

@@ -18,6 +18,13 @@ from .cache import (
     synthesize_cached,
 )
 from .dcshell import DCShell, DCShellError, ScriptResult
+from .explore import (
+    ChainResult,
+    ExploreConfig,
+    anneal_chain,
+    explore_enabled,
+    explore_sizing,
+)
 from .liberty import LibertyError, parse_liberty, write_liberty
 from .library import LibCell, TechLibrary, nangate45
 from .optimizer import (
@@ -28,7 +35,7 @@ from .optimizer import (
     retime,
     size_gates,
 )
-from .passes import PassContext, fast_opt_enabled
+from .passes import PassContext, fast_opt_enabled, sizing_neighbors
 from .power import PowerAnalyzer, PowerReport
 from .reports import QoRSnapshot, render_qor_report, render_timing_report
 from .sdc import Constraints
@@ -61,6 +68,12 @@ __all__ = [
     "nangate45",
     "PassContext",
     "fast_opt_enabled",
+    "sizing_neighbors",
+    "ChainResult",
+    "ExploreConfig",
+    "anneal_chain",
+    "explore_enabled",
+    "explore_sizing",
     "PassResult",
     "balance_chains",
     "buffer_high_fanout",

@@ -25,6 +25,7 @@ from .. import obs
 from ..hdl.elaborator import ElaborationError, elaborate
 from ..hdl.netlist import Netlist
 from ..hdl.parser import ParseError
+from .explore import explore_sizing
 from .library import TechLibrary, nangate45
 from .optimizer import (
     balance_chains,
@@ -167,6 +168,7 @@ class DCShell:
             "compile_ultra": self._cmd_compile_ultra,
             "optimize_registers": self._cmd_optimize_registers,
             "balance_buffer": self._cmd_balance_buffer,
+            "explore_sizing": self._cmd_explore_sizing,
             "report_timing": self._cmd_report_timing,
             "report_area": self._cmd_report_area,
             "report_qor": self._cmd_report_qor,
@@ -207,7 +209,10 @@ class DCShell:
 
     # Passes that take the shared engine context (timing-driven ones).
     _CONTEXT_PASSES = frozenset(
-        {"size_gates", "retime", "buffer_high_fanout", "recover_area"}
+        {
+            "size_gates", "retime", "buffer_high_fanout", "recover_area",
+            "explore_sizing",
+        }
     )
 
     def _optimize(self, name: str, fn, *args, **kwargs):
@@ -477,6 +482,33 @@ class DCShell:
         )
         self.pass_log.append("balance_buffer")
         return f"buffering: {result.changes} buffers inserted"
+
+    def _cmd_explore_sizing(self, args: list[str]) -> str:
+        netlist = self._require_design("explore_sizing")
+        options, _, _ = self._parse_options(
+            args, {"budget", "seed", "chains", "max_gates", "derate"}
+        )
+        kwargs = {}
+        if "budget" in options:
+            kwargs["budget"] = int(options["budget"])
+        if "seed" in options:
+            kwargs["seed"] = int(options["seed"])
+        if "chains" in options:
+            kwargs["chains"] = int(options["chains"])
+        if "max_gates" in options:
+            kwargs["max_gates"] = int(options["max_gates"])
+        if "derate" in options:
+            kwargs["derate"] = float(options["derate"])
+        result = self._optimize(
+            "explore_sizing", explore_sizing,
+            netlist, self.library, self.wireload, self.constraints, **kwargs,
+        )
+        self.pass_log.append("explore_sizing")
+        return (
+            f"exploration: {result.changes} cells resized, "
+            f"slack {result.wns_before:.3f} -> {result.wns_after:.3f}, "
+            f"area {result.area_before:.1f} -> {result.area_after:.1f}"
+        )
 
     def _compile_summary(self) -> str:
         qor = self.qor()

@@ -41,6 +41,7 @@ __all__ = [
     "fast_opt_enabled",
     "upgrade_table",
     "downgrade_table",
+    "sizing_neighbors",
 ]
 
 
@@ -56,6 +57,9 @@ _UPGRADES: "weakref.WeakKeyDictionary[TechLibrary, dict]" = (
     weakref.WeakKeyDictionary()
 )
 _DOWNGRADES: "weakref.WeakKeyDictionary[TechLibrary, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+_NEIGHBORS: "weakref.WeakKeyDictionary[TechLibrary, dict]" = (
     weakref.WeakKeyDictionary()
 )
 
@@ -94,6 +98,31 @@ def downgrade_table(library: TechLibrary) -> dict[str, LibCell | None]:
                 ]
                 table[cell.name] = weaker[-1] if weaker else None
             _DOWNGRADES[library] = table
+    return table
+
+
+def sizing_neighbors(library: TechLibrary) -> dict[str, tuple[str, ...]]:
+    """``{lib_cell name -> every other drive variant of its function}``.
+
+    The move vocabulary of the design-space explorer
+    (:mod:`repro.synth.explore`): for each library cell, the names of
+    the same-function variants it could be rebound to, in the library's
+    weakest-first ``variants`` order.  Cells with a single drive
+    strength map to an empty tuple.  Built once per library object
+    (same memo discipline as :func:`upgrade_table`).
+    """
+    with _TABLE_LOCK:
+        table = _NEIGHBORS.get(library)
+        if table is None:
+            table = {
+                cell.name: tuple(
+                    v.name
+                    for v in library.variants(cell.function)
+                    if v.name != cell.name
+                )
+                for cell in library.cells()
+            }
+            _NEIGHBORS[library] = table
     return table
 
 

@@ -344,6 +344,8 @@ def structure_cache_stats() -> dict:
         "lower_s": round(perf.elapsed("sta.lower"), 6),
         "kernel_s": round(perf.elapsed("sta.kernel"), 6),
         "levels_run": perf.counter("sta.vector_levels"),
+        "trials": perf.counter("sta.trial"),
+        "trial_batches": perf.counter("sta.trial_batch"),
     }
 
 
@@ -818,6 +820,41 @@ class SoAKernel:
         if not len(s.po_nets) and not len(s.seq_cells):
             return [0.0] * k
         return [round(float(w), 4) for w in worst2]
+
+    def trial_metrics_batch(self, trials) -> list[tuple[float, float]]:
+        """``(CPS, total area)`` verdicts for hypothetical rebinds.
+
+        Same lane format and parity contract as :meth:`trial_cps_batch`
+        (the CPS half *is* that sweep), extended with the area the design
+        would have after committing each lane: the committed binding rows
+        are patched per lane and folded through the same strict
+        left-to-right ``cumsum`` as :meth:`committed_area`, so entry
+        ``i`` is bit-identical to committing ``trials[i]`` and reading
+        ``(analyze().cps, total_area())`` — with no mutation and no
+        revert.  This is the scoring kernel of the design-space explorer
+        (:mod:`repro.synth.explore`): one sweep evaluates a whole batch
+        of multi-gate move sets.
+        """
+        cps = self.trial_cps_batch(trials)
+        lanes = self._normalize_trials(trials)
+        cells = self.netlist.cells
+        s = self.s
+        patched_rows = []
+        for lane in lanes:
+            rows = self.cell_row.copy()
+            for name, lib_name in lane:
+                ci = s.cell_index[name]
+                rows[ci] = self._row_for_binding(cells[name].gate, lib_name)
+            patched_rows.append(rows)
+        # Gather areas only after every row is resolved: resolution may
+        # append parameter rows, rebuilding the params matrix.
+        areas = self.params[:, _AREA]
+        out: list[tuple[float, float]] = []
+        for rows, lane_cps in zip(patched_rows, cps):
+            vals = areas[rows]
+            area = float(np.cumsum(vals)[-1]) if vals.size else 0.0
+            out.append((lane_cps, area))
+        return out
 
     # -- reductions ----------------------------------------------------------
 

@@ -57,6 +57,20 @@ __all__ = ["PathPoint", "TimingPath", "TimingReport", "TimingEngine"]
 
 _CONSTS = ("CONST0", "CONST1")
 
+#: Buckets for the trial-batch width histogram (lanes per kernel sweep).
+_TRIAL_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+def _observe_trial_batch(lanes: int) -> None:
+    """Record one trial-batch width on the live metrics endpoint."""
+    from ..obs import metrics
+
+    metrics.histogram(
+        "repro_trial_batch_size",
+        "Lanes per TimingEngine trial batch (hypothetical rebinds per sweep)",
+        buckets=_TRIAL_BATCH_BUCKETS,
+    ).observe(float(lanes))
+
 
 @dataclass(frozen=True, slots=True)
 class PathPoint:
@@ -559,6 +573,7 @@ class TimingEngine:
         """
         if not trials:
             return []
+        _observe_trial_batch(len(trials))
         self._sync()
         if self._use_vector:
             if self._kernel is None:
@@ -580,6 +595,48 @@ class TimingEngine:
             for name, lib_name in rebinds:
                 cells[name].lib_cell = lib_name
             results.append(self.trial_cps())
+            # the reverts are journaled and folded into the next evaluation
+            for cell, prev in previous:
+                cell.lib_cell = prev
+        return results
+
+    def trial_metrics_batch(self, trials) -> list[tuple[float, float]]:
+        """``(CPS, total area)`` verdicts for hypothetical cell rebinds.
+
+        Same lane format as :meth:`trial_cps_batch` — each lane one
+        ``(cell_name, lib_cell_name)`` pair or a list of such pairs
+        evaluated as if committed together.  Entry ``i`` is bit-identical
+        to rebinding ``trials[i]`` alone and reading
+        ``(analyze(with_paths=False).cps, total_area())``.  In vector
+        mode the whole batch is one side-effect-free kernel sweep (CPS)
+        plus a patched-row area fold; the scalar engine falls back to
+        journal-driven apply/evaluate/revert.  This is the scoring path
+        of the design-space explorer (:mod:`repro.synth.explore`).
+        """
+        if not trials:
+            return []
+        _observe_trial_batch(len(trials))
+        self._sync()
+        if self._use_vector:
+            if self._kernel is None:
+                perf.incr("sta.full")
+                self._vector_rebuild()
+            elif self._pending_resizes:
+                resized = self._pending_resizes
+                self._pending_resizes = set()
+                perf.incr("sta.incremental")
+                self._kernel.update_resizes(resized)
+                self._endpoints_stale = True
+            return self._kernel.trial_metrics_batch(trials)
+        cells = self.netlist.cells
+        results: list[tuple[float, float]] = []
+        for lane in trials:
+            perf.incr("sta.trial")
+            rebinds = [lane] if isinstance(lane[0], str) else list(lane)
+            previous = [(cells[name], cells[name].lib_cell) for name, _ in rebinds]
+            for name, lib_name in rebinds:
+                cells[name].lib_cell = lib_name
+            results.append((self.trial_cps(), self.total_area()))
             # the reverts are journaled and folded into the next evaluation
             for cell, prev in previous:
                 cell.lib_cell = prev

@@ -75,7 +75,7 @@ class TestRandomNetlistParity:
     @given(random_mapped_netlist(), st.integers(0, 2**32 - 1))
     def test_batch_lanes_match_sequential_rebinds(self, case, seed):
         """Every trial_cps_batch lane == rebind applied alone (or grouped)."""
-        import random
+        from repro.rand import rng as seeded_rng
 
         netlist, constraints = case
         ctx = _context(netlist, constraints, True, True)
@@ -89,7 +89,7 @@ class TestRandomNetlistParity:
         ]
         if not sized:
             return
-        rng = random.Random(seed)
+        rng = seeded_rng(seed)
         lanes = []
         for _ in range(min(6, len(sized))):
             group = rng.sample(sized, k=min(rng.randint(1, 3), len(sized)))

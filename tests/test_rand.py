@@ -1,0 +1,71 @@
+"""The shared seeded-RNG helper (``repro.rand``).
+
+Every stochastic component — the design-space explorer, the design
+generators, the perf reservoir — draws from ``repro.rand`` streams
+instead of the global ``random`` module, so results are reproducible
+per seed and independent of import order, ``PYTHONHASHSEED`` and
+process boundaries.
+"""
+
+import pathlib
+import random
+
+from repro.rand import derive, rng
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+class TestDerive:
+    def test_pinned_values(self):
+        # sha256 is platform/process independent; these must never move,
+        # or every seeded explorer/generator result silently changes.
+        assert derive(0, "explore", 0) == 7093345361476240858
+        assert derive(7) == 8719647946811673230
+
+    def test_streams_are_independent(self):
+        assert derive(0, "a") != derive(0, "b")
+        assert derive(0, "a", 0) != derive(0, "a", 1)
+        assert derive(0, "a") != derive(1, "a")
+
+    def test_key_types_mix(self):
+        # Ints and strings key distinct streams, not colliding reprs.
+        assert derive(0, "1") != derive(0, 1)
+        assert derive(0, "a", "b") != derive(0, "ab")
+
+
+class TestRng:
+    def test_bare_seed_matches_random_random(self):
+        # Migration contract: rng(seed) with no streams is byte-identical
+        # to random.Random(seed), so pre-existing seeded sequences (design
+        # generators, benchmarks) did not change when they switched over.
+        ours, stdlib = rng(7), random.Random(7)
+        assert [ours.random() for _ in range(32)] == [
+            stdlib.random() for _ in range(32)
+        ]
+        assert ours.getrandbits(64) == stdlib.getrandbits(64)
+
+    def test_streamed_rng_is_deterministic(self):
+        a = [rng(3, "explore", 1).random() for _ in range(3)]
+        b = [rng(3, "explore", 1).random() for _ in range(3)]
+        assert a == b
+
+    def test_streams_decorrelate(self):
+        draws = {
+            stream: rng(0, stream, 0).random()
+            for stream in ("explore", "gen", "reservoir")
+        }
+        assert len(set(draws.values())) == len(draws)
+
+
+def test_no_module_touches_global_random():
+    """``repro.rand`` is the only repro module importing ``random``."""
+    offenders = [
+        path.relative_to(SRC)
+        for path in SRC.rglob("*.py")
+        if path.name != "rand.py"
+        and any(
+            line.startswith(("import random", "from random import"))
+            for line in path.read_text().splitlines()
+        )
+    ]
+    assert not offenders, offenders
